@@ -1,0 +1,53 @@
+"""Session-scoped workloads shared by the benchmark targets.
+
+Scale is environment-configurable for deeper runs:
+
+- ``REPRO_BENCH_N``: side of the Table VII stand-ins (default 256);
+- ``REPRO_CORPUS_LIMIT``: corpus size for Fig. 20 / Table VIII
+  (default 28);
+- ``REPRO_CORPUS_SIZES``: comma list of corpus matrix sides
+  (default "128,256").
+
+e.g. ``REPRO_BENCH_N=512 REPRO_CORPUS_LIMIT=80 pytest benchmarks/ ...``
+runs the full-fat version of every figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.formats.bbc import BBCMatrix
+from repro.workloads.representative import TABLE_VII, representative_matrices
+from repro.workloads.suitesparse import corpus
+
+#: Stand-in size for the eight Table VII matrices in benchmarks.
+REPRESENTATIVE_N = int(os.environ.get("REPRO_BENCH_N", "256"))
+CORPUS_LIMIT = int(os.environ.get("REPRO_CORPUS_LIMIT", "28"))
+CORPUS_SIZES = tuple(
+    int(s) for s in os.environ.get("REPRO_CORPUS_SIZES", "128,256").split(",")
+)
+
+
+@pytest.fixture(scope="session")
+def representative_bbc():
+    """The eight Table VII stand-ins, encoded once."""
+    mats = representative_matrices(n=REPRESENTATIVE_N)
+    return {name: BBCMatrix.from_coo(m) for name, m in mats.items()}
+
+
+@pytest.fixture(scope="session")
+def representative_order():
+    return [info.name for info in TABLE_VII]
+
+
+@pytest.fixture(scope="session")
+def corpus_specs():
+    """The SuiteSparse-substitute corpus used by Fig. 20 / Table VIII."""
+    return corpus(sizes=CORPUS_SIZES, limit=CORPUS_LIMIT)
+
+
+@pytest.fixture(scope="session")
+def corpus_bbc(corpus_specs):
+    return [(spec.name, BBCMatrix.from_coo(spec.matrix())) for spec in corpus_specs]

@@ -1,0 +1,100 @@
+"""Shared computation helpers for the per-figure benchmark targets.
+
+Every benchmark prints the rows/series its paper figure or table
+reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them) and records headline numbers in ``benchmark.extra_info`` so the
+JSON output carries them too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.base import STCModel
+from repro.arch.config import FP64, Precision, UniSTCConfig
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, Gamma, NvDTC, RmSTC, Sigma, Trapezoid
+from repro.formats.bbc import BBCMatrix
+from repro.formats.coo import COOMatrix
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_kernel
+from repro.sim.results import SimReport, geomean
+
+#: The three STCs the energy/efficiency figures compare (Fig. 17/18/20).
+ENERGY_TRIO = ("ds-stc", "rm-stc", "uni-stc")
+
+
+def headline_stcs(precision: Precision = FP64) -> Dict[str, STCModel]:
+    """DS-STC, RM-STC and Uni-STC (the Fig. 17 comparison set)."""
+    return {
+        "ds-stc": DsSTC(precision),
+        "rm-stc": RmSTC(precision),
+        "uni-stc": UniSTC(UniSTCConfig(precision=precision)),
+    }
+
+
+def all_stcs(precision: Precision = FP64) -> Dict[str, STCModel]:
+    """Every evaluated architecture (the Fig. 16/21 comparison set)."""
+    return {
+        "nv-dtc": NvDTC(precision),
+        "gamma": Gamma(precision),
+        "sigma": Sigma(precision),
+        "trapezoid": Trapezoid(precision),
+        "ds-stc": DsSTC(precision),
+        "rm-stc": RmSTC(precision),
+        "uni-stc": UniSTC(UniSTCConfig(precision=precision)),
+    }
+
+
+def spmspv_operand(n: int, sparsity: float = 0.5, seed: int = 6) -> SparseVector:
+    """The paper's SpMSpV input: a random vector at 50% sparsity."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    dense = rng.random(n) * (rng.random(n) >= sparsity)
+    return SparseVector.from_dense(dense)
+
+
+def run_kernel_suite(
+    bbc: BBCMatrix,
+    stcs: Dict[str, STCModel],
+    kernels: Iterable[str] = ("spmv", "spmspv", "spmm", "spgemm"),
+    matrix: Optional[str] = None,
+) -> Dict[str, Dict[str, SimReport]]:
+    """reports[kernel][stc] for one matrix across kernels and STCs."""
+    out: Dict[str, Dict[str, SimReport]] = {}
+    for kernel in kernels:
+        kwargs = {}
+        if kernel == "spmspv":
+            kwargs["x"] = spmspv_operand(bbc.shape[1])
+        out[kernel] = {
+            name: simulate_kernel(kernel, bbc, stc, matrix=matrix, **kwargs)
+            for name, stc in stcs.items()
+        }
+    return out
+
+
+def geomean_vs_baseline(
+    per_matrix: List[Dict[str, SimReport]], target: str, baseline: str, metric: str
+) -> float:
+    """Geomean of target-vs-baseline ratios across matrices.
+
+    ``metric`` is ``speedup``, ``energy`` or ``efficiency``.
+    """
+    ratios = []
+    for reports in per_matrix:
+        t, b = reports[target], reports[baseline]
+        if metric == "speedup":
+            ratios.append(t.speedup_vs(b))
+        elif metric == "energy":
+            ratios.append(t.energy_reduction_vs(b))
+        elif metric == "efficiency":
+            ratios.append(t.energy_efficiency_vs(b))
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+    return geomean(ratios)
+
+
+def bbc_of(coo: COOMatrix) -> BBCMatrix:
+    """Shorthand conversion used by every benchmark."""
+    return BBCMatrix.from_coo(coo)

@@ -1,0 +1,73 @@
+"""Fig. 15 — format storage: BBC vs BSR(4x4) vs BSR(16x16) over CSR.
+
+Reproduces the space-reduction curve as a function of nonzeros per
+16x16 block (NnzPB).  Expected shape (paper): BBC's reduction grows
+with NnzPB, BBC is the best format for matrices above a small NnzPB
+crossover (paper: 3.57, saving up to 15.26x over CSR), and BSR
+typically needs *more* storage than CSR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import print_table
+from repro.formats import BBCMatrix, BSRMatrix, CSRMatrix
+from repro.sim.results import geomean
+from repro.workloads.suitesparse import corpus, iter_matrices
+
+
+def _compute():
+    per_matrix = []
+    for name, coo in iter_matrices(corpus(sizes=(128, 256), limit=40)):
+        csr = CSRMatrix.from_coo(coo)
+        bbc = BBCMatrix.from_coo(coo)
+        bsr4 = BSRMatrix.from_coo(coo, 4)
+        bsr16 = BSRMatrix.from_coo(coo, 16)
+        nnzpb = coo.nnz / max(1, bbc.nblocks)
+        base = csr.metadata_bytes()
+        per_matrix.append({
+            "name": name,
+            "nnzpb": nnzpb,
+            "bbc": base / bbc.metadata_bytes(),
+            "bsr4": base / bsr4.metadata_bytes(),
+            "bsr16": base / bsr16.metadata_bytes(),
+        })
+    per_matrix.sort(key=lambda r: r["nnzpb"])
+    return per_matrix
+
+
+def test_fig15_format_space(benchmark):
+    per_matrix = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    buckets = [(0, 2), (2, 8), (8, 32), (32, 128), (128, 4097)]
+    rows = []
+    for lo, hi in buckets:
+        group = [r for r in per_matrix if lo <= r["nnzpb"] < hi]
+        if not group:
+            continue
+        rows.append([
+            f"[{lo},{hi})", len(group),
+            geomean([r["bbc"] for r in group]),
+            geomean([r["bsr4"] for r in group]),
+            geomean([r["bsr16"] for r in group]),
+        ])
+    print_table(
+        ["NnzPB", "#mats", "BBC vs CSR", "BSR4 vs CSR", "BSR16 vs CSR"], rows,
+        title="Fig. 15 — metadata space reduction over CSR (>1 = smaller than CSR)",
+    )
+    bbc_wins = sum(1 for r in per_matrix if r["bbc"] > max(1.0, r["bsr4"], r["bsr16"]))
+    best_reduction = max(r["bbc"] for r in per_matrix)
+    crossover = min((r["nnzpb"] for r in per_matrix if r["bbc"] > 1.0), default=None)
+    print(f"\nBBC best format for {bbc_wins}/{len(per_matrix)} matrices; "
+          f"max reduction {best_reduction:.2f}x; crossover NnzPB ~{crossover:.1f} "
+          f"(paper: 2585/3195, 15.26x, 3.57)")
+    benchmark.extra_info.update(
+        {"bbc_wins": bbc_wins, "max_reduction": round(best_reduction, 2)}
+    )
+    # Expected shape assertions.
+    dense_rows = [r for r in per_matrix if r["nnzpb"] > 64]
+    sparse_rows = [r for r in per_matrix if r["nnzpb"] < 4]
+    assert geomean([r["bbc"] for r in dense_rows]) > geomean([r["bbc"] for r in sparse_rows])
+    assert best_reduction > 8.0
+    assert bbc_wins > len(per_matrix) / 2
+    # BSR typically requires more storage than CSR.
+    assert geomean([r["bsr4"] for r in per_matrix]) < 1.0

@@ -1,0 +1,52 @@
+"""Fig. 18 — SpGEMM I/O energy breakdown (read A, read B, write C).
+
+Reproduces the per-matrix energy split on the eight representative
+matrices.  Expected shape (paper): Uni-STC has the lowest total energy
+of the three STCs; DS-STC's write-C energy dominates its budget (the
+paper reports 6.5x more write-C energy than Uni-STC); Uni-STC's
+breakdown is comparatively balanced.
+"""
+
+import pytest
+
+from benchmarks.harness import headline_stcs
+from repro.analysis.tables import print_table
+from repro.sim.engine import simulate_kernel
+from repro.sim.results import geomean
+
+
+def _compute(representative_bbc, representative_order):
+    stcs = headline_stcs()
+    rows = []
+    totals = {name: [] for name in stcs}
+    write_ratio = []
+    for matrix in representative_order:
+        bbc = representative_bbc[matrix]
+        per_stc = {}
+        for name, stc in stcs.items():
+            report = simulate_kernel("spgemm", bbc, stc, matrix=matrix)
+            bd = report.energy_breakdown
+            per_stc[name] = bd
+            rows.append([
+                matrix, name, bd["read_a"] / 1e3, bd["read_b"] / 1e3,
+                bd["write_c"] / 1e3, report.energy_pj / 1e3,
+            ])
+            totals[name].append(report.energy_pj)
+        write_ratio.append(per_stc["ds-stc"]["write_c"] / per_stc["uni-stc"]["write_c"])
+    return rows, totals, geomean(write_ratio)
+
+
+def test_fig18_io_energy(benchmark, representative_bbc, representative_order):
+    rows, totals, write_gap = benchmark.pedantic(
+        _compute, args=(representative_bbc, representative_order), rounds=1, iterations=1
+    )
+    print_table(
+        ["matrix", "stc", "read A (nJ)", "read B (nJ)", "write C (nJ)", "total (nJ)"],
+        rows, title="Fig. 18 — SpGEMM I/O energy breakdown", precision=1,
+    )
+    print(f"\nDS-STC/Uni-STC write-C energy gap: {write_gap:.2f}x (paper: 6.5x)")
+    benchmark.extra_info["write_c_gap"] = round(write_gap, 2)
+    # Expected shape: Uni-STC lowest total on every matrix; big write gap.
+    for ds, rm, uni in zip(totals["ds-stc"], totals["rm-stc"], totals["uni-stc"]):
+        assert uni < rm < ds
+    assert write_gap > 3.0

@@ -1,0 +1,58 @@
+"""Fig. 20 — performance/efficiency distribution over the corpus.
+
+Reproduces the density-bucketed view: per matrix the x-axis is the
+average #intermediate-products per T1 task, the series are speedup and
+energy efficiency of RM-STC and Uni-STC over DS-STC for all four
+kernels.  Expected shape (paper): for extremely sparse matrices all
+three STCs converge (single-cycle T1 tasks) while Uni-STC saves energy
+by gating DPGs; as block density grows Uni-STC's speedup and
+efficiency advantage widens.
+"""
+
+import pytest
+
+from benchmarks.harness import headline_stcs, run_kernel_suite
+from repro.analysis.metrics import DENSITY_BUCKETS, bucket_geomeans, bucketise
+from repro.analysis.tables import print_table
+from repro.sim.results import geomean
+
+KERNELS = ("spmv", "spmspv", "spmm", "spgemm")
+
+
+def _compute(corpus_bbc):
+    stcs = headline_stcs()
+    data = {k: {"density": [], "uni_speed": [], "uni_eff": [], "rm_speed": []} for k in KERNELS}
+    for name, bbc in corpus_bbc:
+        suite = run_kernel_suite(bbc, stcs, KERNELS, matrix=name)
+        for kernel in KERNELS:
+            reports = suite[kernel]
+            ds = reports["ds-stc"]
+            data[kernel]["density"].append(reports["uni-stc"].products_per_task)
+            data[kernel]["uni_speed"].append(reports["uni-stc"].speedup_vs(ds))
+            data[kernel]["uni_eff"].append(reports["uni-stc"].energy_efficiency_vs(ds))
+            data[kernel]["rm_speed"].append(reports["rm-stc"].speedup_vs(ds))
+    return data
+
+
+def test_fig20_distribution(benchmark, corpus_bbc):
+    data = benchmark.pedantic(_compute, args=(corpus_bbc,), rounds=1, iterations=1)
+    for kernel in KERNELS:
+        d = data[kernel]
+        rows = []
+        uni_speed = bucket_geomeans(bucketise(d["uni_speed"], d["density"]))
+        uni_eff = bucket_geomeans(bucketise(d["uni_eff"], d["density"]))
+        rm_speed = bucket_geomeans(bucketise(d["rm_speed"], d["density"]))
+        for (lo, hi), us, ue, rs in zip(DENSITY_BUCKETS, uni_speed, uni_eff, rm_speed):
+            rows.append([f"[{lo},{hi})", us, rs, ue])
+        print_table(
+            ["#inter-prod/task", "Uni speedup", "RM speedup", "Uni energy eff."],
+            rows, title=f"Fig. 20 — {kernel} vs DS-STC by block density",
+        )
+    # Expected shape: Uni-STC's aggregate SpGEMM advantage holds, and it
+    # is never slower than DS-STC anywhere on the density axis.
+    gm = geomean(data["spgemm"]["uni_speed"])
+    benchmark.extra_info["spgemm_uni_speedup"] = round(gm, 2)
+    assert gm > 1.3
+    for kernel in KERNELS:
+        assert geomean(data[kernel]["uni_speed"]) >= 1.0, kernel
+        assert geomean(data[kernel]["uni_eff"]) > 1.0, kernel

@@ -1,0 +1,71 @@
+"""Design-space exploration: DPG count, T3 tile size, area and EED.
+
+Walks the three architecture decisions the paper justifies — the
+4x4x4 T3 task (Table IV), the 8-DPG default (Fig. 22) and the area
+budget (Table IX) — using the same models the evaluation uses, so a
+user can re-run the paper's design reasoning under their own workload.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.tables import print_table
+from repro.arch.config import UniSTCConfig
+from repro.arch.tradeoffs import best_tile_size, table_iv
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC
+from repro.energy.area import area_breakdown, die_percentage, eed, total_area_mm2
+from repro.formats.bbc import BBCMatrix
+from repro.sim.engine import simulate_kernel
+from repro.workloads.representative import build_matrix
+
+
+def main() -> None:
+    # --- Table IV: why the 4x4x4 T3 task -------------------------------
+    rows = [
+        [f"{r.tile}^3", r.cycles_per_t3,
+         f"{r.dpgs_to_saturate[0]}-{r.dpgs_to_saturate[1]}",
+         f"{r.tile_network_scale} x #DPGs",
+         f"{r.nonzero_network_scale[0]}x{r.nonzero_network_scale[1]}",
+         r.meets_timing and r.dpg_count_reasonable]
+        for r in table_iv(macs=64)
+    ]
+    print_table(
+        ["T3 size", "#cycles", "#DPGs to saturate", "tile net", "nonzero net", "viable"],
+        rows, title="Table IV — T3 task-size trade-offs (64 MACs)",
+    )
+    print(f"selected tile size: {best_tile_size(64)} (the paper's choice)")
+
+    # --- Fig. 22: how many DPGs -----------------------------------------
+    bbc = BBCMatrix.from_coo(build_matrix("cant", n=256))
+    ds = DsSTC()
+    rows = []
+    for dpgs in (4, 8, 16):
+        config = (UniSTCConfig(num_dpgs=dpgs) if dpgs >= 8
+                  else UniSTCConfig(num_dpgs=dpgs, tile_queue_depth=2 * dpgs))
+        uni = UniSTC(config)
+        entry = [dpgs, total_area_mm2(config)]
+        for kernel in ("spmv", "spgemm"):
+            base = simulate_kernel(kernel, bbc, ds)
+            ours = simulate_kernel(kernel, bbc, uni)
+            entry.append(eed(ours.speedup_vs(base), ours.energy_reduction_vs(base),
+                             uni.name, config))
+        rows.append(entry)
+    print_table(
+        ["#DPGs", "area (mm^2)", "EED spmv", "EED spgemm"], rows,
+        title="Fig. 22 — EED vs DPG count on 'cant' (paper: 8 is the balance point)",
+        precision=3,
+    )
+
+    # --- Table IX: what the design costs -----------------------------------
+    rows = [[module, area] for module, area in area_breakdown().items()]
+    rows.append(["Total Overhead", total_area_mm2()])
+    print_table(
+        ["module", "area (mm^2)"], rows,
+        title=f"Table IX — area breakdown "
+              f"(432 units = {die_percentage():.2f}% of an A100 die)",
+        precision=4,
+    )
+
+
+if __name__ == "__main__":
+    main()

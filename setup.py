@@ -1,0 +1,13 @@
+"""Setup shim for environments without the `wheel` package (offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Uni-STC: Unified Sparse Tensor Core — full Python reproduction (HPCA 2026)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

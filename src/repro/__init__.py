@@ -1,0 +1,55 @@
+"""repro — a from-scratch Python reproduction of Uni-STC (HPCA 2026).
+
+The package is organised in layers:
+
+- :mod:`repro.formats` — sparse matrix containers built from scratch
+  (COO, CSR, BSR) and the paper's Bitmap-Bitmap-CSR (BBC) format.
+- :mod:`repro.kernels` — the four sparse kernels (SpMV, SpMSpV, SpMM,
+  SpGEMM) as golden references and as BBC block algorithms.
+- :mod:`repro.arch` — the Uni-STC micro-architecture model
+  (TMS -> DPG -> SDPU pipeline, networks, UWMMA ISA).
+- :mod:`repro.baselines` — NV-DTC, DS-STC, RM-STC, GAMMA, SIGMA and
+  Trapezoid dataflow models under a common simulator interface.
+- :mod:`repro.sim` — the kernel-level simulation engine and reports.
+- :mod:`repro.energy` — Sparseloop-style energy accounting and the
+  CACTI-style area model (EED metric).
+- :mod:`repro.workloads` — synthetic SuiteSparse/DLMC substitutes and
+  the Table VII representative matrices.
+- :mod:`repro.apps` — AMG solver, BFS, DNN and GNN case studies.
+- :mod:`repro.analysis` — metrics and table rendering for benchmarks.
+
+Quickstart::
+
+    import repro
+    a = repro.CSRMatrix.from_coo(repro.workloads.poisson2d(16))
+    bbc = repro.BBCMatrix.from_csr(a)
+    report = repro.simulate_kernel("spmv", bbc, stc=repro.UniSTC())
+    print(report.cycles, report.energy_pj)
+"""
+
+from repro import analysis, apps, arch, baselines, energy, formats, kernels, sim, workloads
+from repro.arch import UniSTC, UniSTCConfig
+from repro.formats import BBCMatrix, COOMatrix, CSRMatrix
+from repro.kernels import SparseVector
+from repro.sim import simulate_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBCMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "SparseVector",
+    "UniSTC",
+    "UniSTCConfig",
+    "analysis",
+    "apps",
+    "arch",
+    "baselines",
+    "energy",
+    "formats",
+    "kernels",
+    "sim",
+    "simulate_kernel",
+    "workloads",
+]

@@ -1,0 +1,30 @@
+"""Metrics and table rendering for the benchmark harness."""
+
+from repro.analysis import ascii_plot, metrics, regression, report, tables
+from repro.analysis.metrics import (
+    DENSITY_BUCKETS,
+    bucket_geomeans,
+    bucketise,
+    density_bucket,
+    efficiency_vs_baseline,
+    energy_reductions_vs_baseline,
+    speedups_vs_baseline,
+)
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "DENSITY_BUCKETS",
+    "ascii_plot",
+    "bucket_geomeans",
+    "bucketise",
+    "density_bucket",
+    "efficiency_vs_baseline",
+    "energy_reductions_vs_baseline",
+    "metrics",
+    "print_table",
+    "regression",
+    "report",
+    "render_table",
+    "speedups_vs_baseline",
+    "tables",
+]

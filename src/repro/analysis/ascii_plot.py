@@ -1,0 +1,90 @@
+"""Terminal plotting: bar charts, grouped bars and sparklines.
+
+The paper's figures are bar/line charts; in an offline terminal-only
+environment these renderers let the benchmark harness and examples
+show the same *shapes* without matplotlib.  Output is plain ASCII so
+it survives logs and diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one row per label, scaled to ``width``."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    if not labels:
+        return title or ""
+    peak = max(values)
+    label_width = max(len(str(l)) for l in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        lines.append(
+            f"{str(label).rjust(label_width)} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 30,
+    title: Optional[str] = None,
+) -> str:
+    """One bar per (group, series) pair, grouped under group headers."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} length mismatch")
+    peak = max((max(v) for v in series.values() if len(v)), default=0.0)
+    name_width = max((len(n) for n in series), default=0)
+    lines: List[str] = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[gi]
+            filled = int(round(width * value / peak)) if peak > 0 else 0
+            lines.append(
+                f"  {name.rjust(name_width)} |{'#' * filled}{' ' * (width - filled)}| "
+                f"{value:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline (empty input -> empty string)."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[4] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def histogram(
+    bin_labels: Sequence[str],
+    shares: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Share histogram (e.g. the Fig. 5 utilisation bins), shares in [0, 1]."""
+    if any(s < 0 for s in shares):
+        raise ValueError("shares must be non-negative")
+    return bar_chart(bin_labels, [100 * s for s in shares], width=width, unit="%", title=title)

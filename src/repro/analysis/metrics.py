@@ -1,0 +1,80 @@
+"""Evaluation metrics shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.results import SimReport, geomean
+
+
+def speedups_vs_baseline(
+    reports: Dict[str, SimReport], baseline: str
+) -> Dict[str, float]:
+    """Per-STC speedup over the named baseline (baseline maps to 1.0)."""
+    if baseline not in reports:
+        raise SimulationError(f"baseline {baseline!r} missing from reports")
+    base = reports[baseline]
+    return {name: r.speedup_vs(base) for name, r in reports.items()}
+
+
+def energy_reductions_vs_baseline(
+    reports: Dict[str, SimReport], baseline: str
+) -> Dict[str, float]:
+    """Per-STC energy reduction over the named baseline."""
+    if baseline not in reports:
+        raise SimulationError(f"baseline {baseline!r} missing from reports")
+    base = reports[baseline]
+    return {name: r.energy_reduction_vs(base) for name, r in reports.items()}
+
+
+def efficiency_vs_baseline(
+    reports: Dict[str, SimReport], baseline: str
+) -> Dict[str, float]:
+    """Energy efficiency (speedup x energy reduction) vs the baseline."""
+    speed = speedups_vs_baseline(reports, baseline)
+    energy = energy_reductions_vs_baseline(reports, baseline)
+    return {name: speed[name] * energy[name] for name in reports}
+
+
+def geomean_over_matrices(per_matrix: Iterable[float]) -> float:
+    """Geometric mean across matrices (the paper's aggregate)."""
+    return geomean(per_matrix)
+
+
+#: Fig. 20 buckets of #intermediate-products per T1 task (max 4096).
+DENSITY_BUCKETS: Tuple[Tuple[float, float], ...] = (
+    (0, 8), (8, 32), (32, 128), (128, 512), (512, 2048), (2048, 4097),
+)
+
+
+def density_bucket(products_per_task: float) -> int:
+    """Index of the Fig. 20 density bucket a matrix falls into."""
+    for idx, (lo, hi) in enumerate(DENSITY_BUCKETS):
+        if lo <= products_per_task < hi:
+            return idx
+    return len(DENSITY_BUCKETS) - 1
+
+
+def bucketise(
+    values: Sequence[float], densities: Sequence[float]
+) -> List[List[float]]:
+    """Group per-matrix values by their density bucket (Fig. 20 series)."""
+    if len(values) != len(densities):
+        raise SimulationError("values and densities must pair up")
+    buckets: List[List[float]] = [[] for _ in DENSITY_BUCKETS]
+    for value, density in zip(values, densities):
+        buckets[density_bucket(density)].append(value)
+    return buckets
+
+
+def bucket_geomeans(buckets: List[List[float]]) -> List[float]:
+    """Geomean per non-empty bucket (NaN where empty)."""
+    return [geomean(b) if b else float("nan") for b in buckets]
+
+
+def utilisation_bins(report: SimReport) -> np.ndarray:
+    """The four Fig. 5 utilisation-bin shares of a report."""
+    return report.util_hist.fractions()

@@ -1,0 +1,116 @@
+"""Benchmark-regression comparison: diff two pytest-benchmark JSON runs.
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=run.json`` saves
+both timings and each benchmark's ``extra_info`` (the reproduction's
+headline numbers).  This module diffs two such files so CI — or a
+developer touching a dataflow model — can see exactly which paper
+metric moved and by how much.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import FormatError
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One changed headline metric."""
+
+    benchmark: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after / self.before if self.before else float("inf")
+
+    @property
+    def percent_change(self) -> float:
+        return 100.0 * (self.ratio - 1.0)
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing two benchmark runs."""
+
+    changed: List[MetricDelta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    def significant(self, threshold: float = 0.05) -> List[MetricDelta]:
+        """Deltas whose relative change exceeds ``threshold``."""
+        return [d for d in self.changed if abs(d.ratio - 1.0) > threshold]
+
+    @property
+    def clean(self) -> bool:
+        return not self.changed and not self.added and not self.removed
+
+
+def _load_metrics(path: Union[str, Path]) -> Dict[str, Dict[str, float]]:
+    path = Path(str(path))
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FormatError(f"cannot read benchmark JSON {path}: {exc}") from exc
+    if "benchmarks" not in data:
+        raise FormatError(f"{path} is not a pytest-benchmark JSON file")
+    out: Dict[str, Dict[str, float]] = {}
+    for bench in data["benchmarks"]:
+        metrics = {}
+        for key, value in bench.get("extra_info", {}).items():
+            if isinstance(value, (int, float)):
+                metrics[key] = float(value)
+        out[bench["name"]] = metrics
+    return out
+
+
+def compare_runs(before: Union[str, Path], after: Union[str, Path]) -> RegressionReport:
+    """Diff the extra-info metrics of two benchmark JSON files."""
+    old = _load_metrics(before)
+    new = _load_metrics(after)
+    report = RegressionReport()
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            report.removed.append(name)
+            continue
+        if name not in old:
+            report.added.append(name)
+            continue
+        for metric in sorted(set(old[name]) | set(new[name])):
+            b = old[name].get(metric)
+            a = new[name].get(metric)
+            if b is None:
+                report.added.append(f"{name}:{metric}")
+            elif a is None:
+                report.removed.append(f"{name}:{metric}")
+            elif a != b:
+                report.changed.append(MetricDelta(name, metric, b, a))
+    return report
+
+
+def render_report(report: RegressionReport, threshold: float = 0.05) -> str:
+    """Human-readable summary of a regression comparison."""
+    lines: List[str] = []
+    significant = report.significant(threshold)
+    if report.clean:
+        return "benchmark metrics identical"
+    lines.append(
+        f"{len(report.changed)} metric(s) changed, "
+        f"{len(significant)} beyond {100 * threshold:.0f}%"
+    )
+    for delta in sorted(significant, key=lambda d: -abs(d.ratio - 1.0)):
+        lines.append(
+            f"  {delta.benchmark}::{delta.metric}: "
+            f"{delta.before:g} -> {delta.after:g} ({delta.percent_change:+.1f}%)"
+        )
+    for name in report.added:
+        lines.append(f"  added: {name}")
+    for name in report.removed:
+        lines.append(f"  removed: {name}")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Reproduction report generator: benchmark JSON → paper-vs-measured.
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=run.json`` saves
+every benchmark's headline metrics in ``extra_info``.  This module
+turns that file into a markdown report against the paper's published
+values (embedded below per metric), so artifact evaluation reduces to
+one command:
+
+    python -m repro paper            # (re)generate run data
+    python -m repro report run.json  # paper-vs-measured markdown
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.regression import _load_metrics
+
+#: Paper-published values keyed by (benchmark, metric).  Metrics with
+#: no paper analogue (ablation factors etc.) are reported as measured
+#: only.  Values are the figures quoted in the paper text/captions.
+PAPER_VALUES: Dict[str, Dict[str, float]] = {
+    "test_fig05_utilisation_distribution": {
+        "low_util_ds-stc": 61.68,
+        "low_util_rm-stc": 62.78,
+        "low_util_uni-stc": 15.82,
+    },
+    "test_fig10_ordering_comparison": {
+        "outer_parallel": 4.54,
+    },
+    "test_fig14_case_study": {
+        "ds-stc": 37.5,
+        "rm-stc": 50.0,
+        "uni-stc": 75.0,
+    },
+    "test_fig15_format_space": {
+        "max_reduction": 15.26,
+    },
+    "test_fig16_random_utilisation": {
+        "vs_nv-dtc": 2.89,
+        "vs_gamma": 1.67,
+        "vs_sigma": 1.73,
+        "vs_trapezoid": 1.13,
+        "vs_ds-stc": 1.89,
+        "vs_rm-stc": 1.39,
+    },
+    "test_fig17_kernel_panel": {
+        "spmv_uni-stc": 5.21,
+        "spmspv_uni-stc": 5.25,
+    },
+    "test_fig18_io_energy": {
+        "write_c_gap": 6.5,
+    },
+    "test_fig19_traffic_and_network_scale": {
+        "traffic_gap": 2.75,
+    },
+    "test_fig21_amg_speedup": {
+        "uni_spmv": 4.84,
+        "uni_spgemm": 2.46,
+    },
+    "test_tab09_area": {
+        "total_mm2": 0.0425,
+    },
+    "test_dense_energy": {
+        "uni-stc": 1.06,
+        "rm-stc": 1.20,
+        "ds-stc": 1.50,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One metric of the reproduction report."""
+
+    benchmark: str
+    metric: str
+    measured: float
+    paper: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+
+def build_rows(json_path: Union[str, Path]) -> List[ReportRow]:
+    """Pair a run's metrics with the paper's published values."""
+    metrics = _load_metrics(json_path)
+    rows: List[ReportRow] = []
+    for bench in sorted(metrics):
+        paper_metrics = PAPER_VALUES.get(bench, {})
+        for metric in sorted(metrics[bench]):
+            rows.append(ReportRow(
+                benchmark=bench,
+                metric=metric,
+                measured=metrics[bench][metric],
+                paper=paper_metrics.get(metric),
+            ))
+    return rows
+
+
+def render_markdown(rows: List[ReportRow], title: str = "Reproduction report") -> str:
+    """Markdown report: a paper-vs-measured table plus measured-only extras."""
+    compared = [r for r in rows if r.paper is not None]
+    extras = [r for r in rows if r.paper is None]
+    lines = [f"# {title}", ""]
+    if compared:
+        lines += [
+            "## Paper vs measured",
+            "",
+            "| benchmark | metric | paper | measured | measured/paper |",
+            "|---|---|---|---|---|",
+        ]
+        for r in compared:
+            lines.append(
+                f"| {r.benchmark} | {r.metric} | {r.paper:g} | "
+                f"{r.measured:g} | {r.ratio:.2f} |"
+            )
+        lines.append("")
+    if extras:
+        lines += [
+            "## Measured (no single published value)",
+            "",
+            "| benchmark | metric | measured |",
+            "|---|---|---|",
+        ]
+        for r in extras:
+            lines.append(f"| {r.benchmark} | {r.metric} | {r.measured:g} |")
+        lines.append("")
+    if compared:
+        within_2x = sum(1 for r in compared if r.ratio and 0.5 <= r.ratio <= 2.0)
+        lines.append(
+            f"{within_2x}/{len(compared)} compared metrics land within 2x of the "
+            f"paper's value."
+        )
+    return "\n".join(lines)
+
+
+def generate_report(json_path: Union[str, Path]) -> str:
+    """One-call convenience: JSON file in, markdown out."""
+    return render_markdown(build_rows(json_path))

@@ -1,0 +1,61 @@
+"""Fixed-width table rendering for the benchmark harness output.
+
+Every benchmark prints the rows/series its paper table or figure
+reports; this module keeps that output consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table with a separator under the header."""
+    str_rows: List[List[str]] = [
+        [_format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> None:
+    """Render and print, with a blank line before the title."""
+    print()
+    print(render_table(headers, rows, title=title, precision=precision))

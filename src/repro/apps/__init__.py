@@ -1,0 +1,25 @@
+"""Application case studies: AMG, BFS, DNN inference, GNN propagation."""
+
+from repro.apps import amg, bfs, cg, dnn, gnn, pagerank, trace
+from repro.apps.amg import AMGSolver
+from repro.apps.bfs import bfs as run_bfs
+from repro.apps.cg import conjugate_gradient
+from repro.apps.dnn import simulate_inference
+from repro.apps.pagerank import pagerank as run_pagerank
+from repro.apps.trace import KernelTrace
+
+__all__ = [
+    "AMGSolver",
+    "KernelTrace",
+    "amg",
+    "bfs",
+    "cg",
+    "conjugate_gradient",
+    "dnn",
+    "gnn",
+    "pagerank",
+    "run_bfs",
+    "run_pagerank",
+    "simulate_inference",
+    "trace",
+]

@@ -1,0 +1,105 @@
+"""Breadth-first search via SpMV/SpMSpV — the Table II BFS workload.
+
+Linear-algebra BFS: the frontier is a sparse vector, one traversal
+step is ``next = A^T @ frontier`` masked by the unvisited set.  The
+direction-optimising variant switches between SpMSpV (push: sparse
+frontier) and SpMV (pull: dense frontier) on frontier occupancy — the
+reason BFS exercises *both* vector kernels in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.trace import KernelTrace
+from repro.errors import ShapeError
+from repro.formats.csr import CSRMatrix
+from repro.kernels import reference
+from repro.kernels.vector import SparseVector
+
+#: Frontier density above which the pull (SpMV) direction is used.
+PULL_THRESHOLD = 0.05
+
+
+@dataclass
+class BFSResult:
+    """Levels per vertex (-1 = unreachable) and traversal statistics."""
+
+    levels: np.ndarray
+    iterations: int = 0
+    push_steps: int = 0
+    pull_steps: int = 0
+    frontier_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def reached(self) -> int:
+        return int((self.levels >= 0).sum())
+
+
+def bfs(
+    adjacency: CSRMatrix,
+    source: int,
+    trace: Optional[KernelTrace] = None,
+    pull_threshold: float = PULL_THRESHOLD,
+) -> BFSResult:
+    """Direction-optimising BFS from ``source``.
+
+    ``adjacency[i, j] != 0`` means an edge i -> j.  Each push step is
+    one SpMSpV with the transposed adjacency; each pull step one SpMV.
+    Every kernel call is recorded into ``trace`` when given.
+    """
+    n = adjacency.shape[0]
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ShapeError("BFS needs a square adjacency matrix")
+    if not 0 <= source < n:
+        raise ShapeError(f"source {source} out of range")
+    at = adjacency.transpose()
+
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = SparseVector(n, [source], [1.0])
+    result = BFSResult(levels=levels)
+
+    depth = 0
+    while frontier.nnz:
+        result.frontier_sizes.append(frontier.nnz)
+        depth += 1
+        if frontier.density() <= pull_threshold:
+            reached = reference.spmspv(at, frontier)
+            if trace is not None:
+                trace.record("spmspv", at, x=frontier, label=f"push@{depth}")
+            result.push_steps += 1
+            candidate = reached.to_dense()
+        else:
+            candidate = reference.spmv(at, frontier.to_dense())
+            if trace is not None:
+                trace.record("spmv", at, label=f"pull@{depth}")
+            result.pull_steps += 1
+        new = np.flatnonzero((candidate != 0) & (levels < 0))
+        if new.size == 0:
+            break
+        levels[new] = depth
+        frontier = SparseVector(n, new, np.ones(new.size))
+        result.iterations += 1
+    return result
+
+
+def reference_bfs(adjacency: CSRMatrix, source: int) -> np.ndarray:
+    """Plain queue-based BFS oracle for testing."""
+    n = adjacency.shape[0]
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    queue = [source]
+    while queue:
+        nxt = []
+        for u in queue:
+            cols, _ = adjacency.row(u)
+            for v in cols:
+                if levels[v] < 0:
+                    levels[v] = levels[u] + 1
+                    nxt.append(int(v))
+        queue = nxt
+    return levels

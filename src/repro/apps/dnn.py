@@ -1,0 +1,112 @@
+"""Sparse DNN inference over DLMC-style weights (Fig. 17's right half).
+
+The paper evaluates ResNet-50 and Transformer inference at
+128 MAC@FP32: linear/projection layers are SpMM (sparse weight x dense
+activation), and sparse convolution is treated as SpGEMM (sparse
+im2col weight x sparse activation — ReLU'd feature maps are sparse,
+which the paper notes makes Uni-STC enable *more* DPGs on ResNet-50
+and fewer on the denser Transformer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.base import STCModel
+from repro.arch.config import FP32
+from repro.errors import ShapeError
+from repro.formats.bbc import BBCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import bbc_kernels
+from repro.sim.engine import simulate_kernel
+from repro.sim.results import SimReport
+from repro.workloads.dlmc import dlmc_corpus
+from repro.workloads.dnn import LayerSpec
+
+#: Typical post-ReLU activation sparsity for the conv-as-SpGEMM path.
+ACTIVATION_SPARSITY = 0.5
+
+
+@dataclass
+class LayerReport:
+    """Per-layer simulation outcome."""
+
+    layer: LayerSpec
+    report: SimReport
+
+
+@dataclass
+class InferenceReport:
+    """Whole-model outcome on one STC."""
+
+    model: str
+    stc: str
+    sparsity: float
+    layers: List[LayerReport] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.report.cycles for l in self.layers)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(l.report.energy_pj for l in self.layers)
+
+
+def _activation_matrix(k: int, n: int, seed: int) -> CSRMatrix:
+    """A ReLU'd (half-sparse) activation matrix for the SpGEMM path."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((k, n))
+    dense[dense < 0] = 0.0  # ReLU: ~50% sparsity
+    return CSRMatrix.from_dense(dense)
+
+
+def simulate_inference(
+    stc: STCModel,
+    model: str = "resnet50",
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+    seed: int = 11,
+) -> InferenceReport:
+    """Simulate one model's forward pass on one STC.
+
+    Linear layers run SpMM with the layer's activation width; conv
+    layers run SpGEMM against a ReLU-sparse activation matrix.
+    """
+    out = InferenceReport(model=model, stc=stc.name, sparsity=sparsity)
+    for i, (layer, weight) in enumerate(dlmc_corpus(model, sparsity, scale=scale, seed=seed)):
+        bbc = BBCMatrix.from_coo(weight)
+        if layer.kind == "linear":
+            report = simulate_kernel("spmm", bbc, stc, b_cols=layer.n, matrix=layer.name)
+        else:
+            acts = _activation_matrix(layer.k, layer.n, seed=seed + 100 + i)
+            report = simulate_kernel(
+                "spgemm", bbc, stc, b=BBCMatrix.from_csr(acts), matrix=layer.name
+            )
+        out.layers.append(LayerReport(layer=layer, report=report))
+    return out
+
+
+def forward_layer(weight: BBCMatrix, activations: np.ndarray, relu: bool = True) -> np.ndarray:
+    """Numerically execute one layer (SpMM + optional ReLU) over BBC."""
+    if activations.ndim != 2 or activations.shape[0] != weight.shape[1]:
+        raise ShapeError(
+            f"activations {activations.shape} incompatible with weight {weight.shape}"
+        )
+    out = bbc_kernels.spmm(weight, activations)
+    if relu:
+        out = np.maximum(out, 0.0)
+    return out
+
+
+def compare_models(
+    stcs: List[STCModel],
+    model: str = "resnet50",
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+) -> Dict[str, InferenceReport]:
+    """Run the same model on several STCs (all at FP32 by convention)."""
+    return {stc.name: simulate_inference(stc, model, sparsity, scale=scale) for stc in stcs}

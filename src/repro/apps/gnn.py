@@ -1,0 +1,61 @@
+"""A GNN propagation layer — Table II's SpMM + SpGEMM combination.
+
+Graph neural networks propagate node features (``H' = ReLU(A_hat H W)``,
+an SpMM over the normalised adjacency) and aggregate neighbourhood
+structure (two-hop connectivity ``A^2``, an SpGEMM).  This module
+implements both numerically over the package's own kernels and records
+the kernel trace, demonstrating the multi-kernel workloads Uni-STC's
+generality argument (§III-A) is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.trace import KernelTrace
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import reference
+
+
+def normalised_adjacency(adjacency: CSRMatrix) -> CSRMatrix:
+    """Symmetric GCN normalisation: D^-1/2 (A + I) D^-1/2."""
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ShapeError("adjacency must be square")
+    with_self = reference.add(adjacency, CSRMatrix.identity(adjacency.shape[0]))
+    degrees = np.asarray(
+        [with_self.row(i)[1].sum() for i in range(with_self.shape[0])], dtype=np.float64
+    )
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    coo = with_self.to_coo()
+    vals = coo.vals * inv_sqrt[coo.rows] * inv_sqrt[coo.cols]
+    return CSRMatrix.from_coo(COOMatrix(with_self.shape, coo.rows, coo.cols, vals))
+
+
+@dataclass
+class GNNLayer:
+    """One GCN layer with a dense weight matrix."""
+
+    a_hat: CSRMatrix
+    weight: np.ndarray
+
+    def forward(self, features: np.ndarray, trace: Optional[KernelTrace] = None) -> np.ndarray:
+        """H' = ReLU(A_hat @ H @ W) — the SpMM step of Table II."""
+        if features.shape[0] != self.a_hat.shape[1]:
+            raise ShapeError("feature rows must match graph size")
+        propagated = reference.spmm(self.a_hat, features)
+        if trace is not None:
+            trace.record("spmm", self.a_hat, b_cols=features.shape[1], label="propagate")
+        return np.maximum(propagated @ self.weight, 0.0)
+
+
+def two_hop(adjacency: CSRMatrix, trace: Optional[KernelTrace] = None) -> CSRMatrix:
+    """Two-hop connectivity A @ A — the SpGEMM step of Table II."""
+    result = reference.spgemm(adjacency, adjacency)
+    if trace is not None:
+        trace.record("spgemm", adjacency, b=adjacency, label="two-hop")
+    return result

@@ -1,0 +1,102 @@
+"""Kernel-operation traces: what an application asks of the tensor core.
+
+Applications (AMG, BFS, DNN inference) record every sparse-kernel
+invocation as ``(kernel, operands, count)``.  Replaying a trace on an
+STC model yields the application-level cycle/energy totals of Figs. 17
+(DNN) and 21 (AMG) without re-running the numerics per architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.base import STCModel
+from repro.formats.bbc import BBCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_kernel
+from repro.sim.results import SimReport
+
+
+@dataclass
+class TraceOp:
+    """One recorded kernel invocation (repeated ``count`` times)."""
+
+    kernel: str
+    a: CSRMatrix
+    count: int = 1
+    x: Optional[SparseVector] = None
+    b: Optional[CSRMatrix] = None
+    b_cols: int = 64
+    label: str = ""
+
+
+@dataclass
+class KernelTrace:
+    """An append-only log of kernel invocations."""
+
+    ops: List[TraceOp] = field(default_factory=list)
+
+    def record(self, kernel: str, a: CSRMatrix, count: int = 1, **operands) -> None:
+        """Append an invocation; identical consecutive ops may be merged."""
+        label = operands.pop("label", "")
+        op = TraceOp(kernel=kernel, a=a, count=count, label=label, **operands)
+        if self.ops and self._same_op(self.ops[-1], op):
+            self.ops[-1].count += count
+        else:
+            self.ops.append(op)
+
+    @staticmethod
+    def _same_op(lhs: TraceOp, rhs: TraceOp) -> bool:
+        return (
+            lhs.kernel == rhs.kernel
+            and lhs.a is rhs.a
+            and lhs.b is rhs.b
+            and lhs.x is rhs.x
+            and lhs.b_cols == rhs.b_cols
+        )
+
+    def kernel_counts(self) -> Dict[str, int]:
+        """Invocations per kernel (including repetition counts)."""
+        out: Dict[str, int] = {}
+        for op in self.ops:
+            out[op.kernel] = out.get(op.kernel, 0) + op.count
+        return out
+
+    def replay(self, stc: STCModel) -> Dict[str, SimReport]:
+        """Simulate the whole trace on one STC, aggregated per kernel.
+
+        Matrices are converted to BBC once and reused; repeated
+        invocations scale the single simulation by their count.
+        """
+        bbc_cache: Dict[int, BBCMatrix] = {}
+
+        def to_bbc(m: CSRMatrix) -> BBCMatrix:
+            key = id(m)
+            if key not in bbc_cache:
+                bbc_cache[key] = BBCMatrix.from_csr(m)
+            return bbc_cache[key]
+
+        totals: Dict[str, SimReport] = {}
+        for op in self.ops:
+            kwargs = {}
+            if op.kernel == "spmspv":
+                kwargs["x"] = op.x
+            elif op.kernel == "spgemm" and op.b is not None:
+                kwargs["b"] = to_bbc(op.b)
+            elif op.kernel == "spmm":
+                kwargs["b_cols"] = op.b_cols
+            report = simulate_kernel(op.kernel, to_bbc(op.a), stc, **kwargs)
+            agg = totals.setdefault(op.kernel, SimReport(stc=stc.name, kernel=op.kernel))
+            agg.cycles += report.cycles * op.count
+            agg.products += report.products * op.count
+            agg.t1_tasks += report.t1_tasks * op.count
+            agg.util_hist.merge(report.util_hist, op.count)
+            agg.counters.merge(report.counters, op.count)
+            agg.energy_pj += report.energy_pj * op.count
+        return totals
+
+    def replay_total_cycles(self, stc: STCModel) -> int:
+        """Total cycles of the trace on one STC (all kernels summed)."""
+        return sum(r.cycles for r in self.replay(stc).values())

@@ -1,0 +1,64 @@
+"""The common simulator interface every STC model implements.
+
+A model turns one :class:`~repro.arch.tasks.T1Task` into a
+:class:`BlockResult`: cycles, a per-cycle MAC-utilisation histogram,
+and the action counters the energy model prices.  The simulation
+engine (:mod:`repro.sim.engine`) memoises ``simulate_block`` on the
+task's bitmap pair, so models must be pure functions of the task.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.arch.counters import Counters
+from repro.arch.tasks import T1Task, UtilHistogram
+from repro.errors import SimulationError
+
+
+@dataclass
+class BlockResult:
+    """Outcome of simulating one T1 task on one STC."""
+
+    cycles: int
+    products: int
+    util_hist: UtilHistogram = field(default_factory=UtilHistogram)
+    counters: Counters = field(default_factory=Counters)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.products < 0:
+            raise SimulationError("cycles and products must be non-negative")
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Average MAC utilisation implied by products / (cycles * lanes).
+
+        Only meaningful when the owning model records ``lane budget x
+        cycles`` consistently; exposed for convenience in tests.
+        """
+        lanes = self.counters.get("lane_cycles")
+        return self.products / lanes if lanes else 0.0
+
+
+class STCModel(ABC):
+    """Abstract sparse tensor core: a per-block dataflow model."""
+
+    #: Short display name used in reports and benchmark tables.
+    name: str = "stc"
+
+    @abstractmethod
+    def simulate_block(self, task: T1Task) -> BlockResult:
+        """Simulate one 16x16x16 block task and return its outcome."""
+
+    @property
+    @abstractmethod
+    def macs(self) -> int:
+        """MAC lanes available per cycle."""
+
+    def cache_key(self) -> str:
+        """Memoisation namespace; distinct per configured instance."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, macs={self.macs})"

@@ -1,0 +1,181 @@
+"""Benes network model — the rearrangeably non-blocking tile router.
+
+Table IX's first row is "Benes & MUX networks": the tile-forwarding
+paths of §IV-C are built from Benes networks, which realise *any*
+permutation of N inputs with 2*log2(N) - 1 stages of 2x2 switches —
+the property that lets the TMS route arbitrary tile subsets to DPGs
+without blocking.  This module implements the classic recursive
+looping algorithm: given a permutation, it computes the switch settings
+stage by stage, which both proves routability and counts the switching
+activity the energy model's per-transfer constants abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class BenesRouting:
+    """The computed route of one permutation through a Benes network."""
+
+    size: int
+    stages: List[List[bool]]   # per stage, per switch: crossed?
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    @property
+    def switch_count(self) -> int:
+        return sum(len(s) for s in self.stages)
+
+    @property
+    def crossed_switches(self) -> int:
+        """Switches set to 'cross' — a proxy for switching activity."""
+        return sum(sum(stage) for stage in self.stages)
+
+
+def benes_stage_count(n: int) -> int:
+    """Stages of an N-input Benes network: 2*log2(N) - 1."""
+    if not _is_power_of_two(n):
+        raise ConfigError(f"Benes network size must be a power of two, got {n}")
+    if n == 1:
+        return 0
+    return 2 * (n.bit_length() - 1) - 1
+
+
+def route(permutation: Sequence[int]) -> BenesRouting:
+    """Compute switch settings realising ``permutation`` (output[i] =
+    input[permutation[i]]) by the recursive looping algorithm.
+
+    Raises ``ConfigError`` for non-permutations or non-power-of-two
+    sizes; always succeeds otherwise (rearrangeable non-blocking).
+    """
+    n = len(permutation)
+    if not _is_power_of_two(n):
+        raise ConfigError(f"Benes network size must be a power of two, got {n}")
+    if sorted(permutation) != list(range(n)):
+        raise ConfigError("input is not a permutation")
+    stages: List[List[bool]] = []
+    _route_recursive(list(permutation), stages)
+    return BenesRouting(size=n, stages=stages)
+
+
+def _route_recursive(perm: List[int], stages: List[List[bool]]) -> None:
+    n = len(perm)
+    if n == 1:
+        return
+    if n == 2:
+        stages.append([perm[0] == 1])
+        return
+    half = n // 2
+    # Looping algorithm: 2-colour the constraint graph so that the two
+    # ends of every input/output switch go to different sub-networks.
+    in_colour = [-1] * n   # colour of each input terminal (0=upper, 1=lower)
+    out_colour = [-1] * n
+    inv = [0] * n
+    for out_idx, src in enumerate(perm):
+        inv[src] = out_idx
+    for start in range(n):
+        if in_colour[start] != -1:
+            continue
+        # Walk the alternating cycle starting from this input.
+        current = start
+        colour = 0
+        while in_colour[current] == -1:
+            in_colour[current] = colour
+            in_colour[current ^ 1] = 1 - colour
+            # The partner input's destination must take the other colour;
+            # follow it through its output switch back to an input.
+            partner_out = inv[current ^ 1]
+            out_colour[partner_out] = 1 - colour
+            out_colour[partner_out ^ 1] = colour
+            current = perm[partner_out ^ 1]
+            colour = out_colour[inv[current]]
+        # Cycle closed.
+    input_stage = [in_colour[2 * i] == 1 for i in range(half)]
+    output_stage = [out_colour[2 * i] == 1 for i in range(half)]
+    # Build the two sub-permutations.
+    upper = [0] * half
+    lower = [0] * half
+    for out_idx, src in enumerate(perm):
+        colour = out_colour[out_idx]
+        sub_out = out_idx // 2
+        sub_in = src // 2
+        if colour == 0:
+            upper[sub_out] = sub_in
+        else:
+            lower[sub_out] = sub_in
+    stages.append(input_stage)
+    sub_stages_upper: List[List[bool]] = []
+    sub_stages_lower: List[List[bool]] = []
+    _route_recursive(upper, sub_stages_upper)
+    _route_recursive(lower, sub_stages_lower)
+    for s_up, s_lo in zip(sub_stages_upper, sub_stages_lower):
+        stages.append(s_up + s_lo)
+    stages.append(output_stage)
+
+
+def apply_routing(routing: BenesRouting, inputs: Sequence) -> List:
+    """Push values through the routed network and return the outputs.
+
+    Used to *verify* a routing: ``apply_routing(route(p), xs)`` must
+    equal ``[xs[i] for i in p]``.
+    """
+    n = routing.size
+    if len(inputs) != n:
+        raise ConfigError("input count must match network size")
+    values = list(inputs)
+    stage_idx = 0
+    values = _apply_recursive(values, routing.stages, [stage_idx])
+    return values
+
+
+def _apply_recursive(values: List, stages: List[List[bool]], cursor: List[int]) -> List:
+    n = len(values)
+    if n == 1:
+        return values
+    if n == 2:
+        crossed = stages[cursor[0]][0]
+        cursor[0] += 1
+        return [values[1], values[0]] if crossed else values
+    half = n // 2
+    input_stage = stages[cursor[0]]
+    cursor[0] += 1
+    upper_in, lower_in = [], []
+    for i in range(half):
+        a, b = values[2 * i], values[2 * i + 1]
+        if input_stage[i]:
+            a, b = b, a
+        upper_in.append(a)
+        lower_in.append(b)
+    # Middle stages interleave upper/lower halves; walk them jointly.
+    middle = benes_stage_count(half)
+    upper_stages = []
+    lower_stages = []
+    for _ in range(middle):
+        stage = stages[cursor[0]]
+        cursor[0] += 1
+        upper_stages.append(stage[: len(stage) // 2])
+        lower_stages.append(stage[len(stage) // 2 :])
+    sub_cursor_u = [0]
+    upper_out = _apply_recursive(upper_in, upper_stages, sub_cursor_u)
+    sub_cursor_l = [0]
+    lower_out = _apply_recursive(lower_in, lower_stages, sub_cursor_l)
+    output_stage = stages[cursor[0]]
+    cursor[0] += 1
+    out = []
+    for i in range(half):
+        a, b = upper_out[i], lower_out[i]
+        if output_stage[i]:
+            a, b = b, a
+        out.extend([a, b])
+    return out

@@ -1,0 +1,125 @@
+"""On-chip buffer capacity model (§IV-C's Meta / Matrix A / Accumulator).
+
+The paper sizes three buffers: the Meta Buffer (144 B), the Matrix A
+Buffer (2 KB) and the Accumulator Buffer (1 KB).  These are not
+arbitrary — each is *exactly* sufficient for one T1 task at FP64:
+
+- Matrix A Buffer: 2 KB / 8 B = 256 values = one dense 16x16 A block;
+- Accumulator: 1 KB / 8 B = 128 partial sums = two T3 output tiles per
+  DPG pair in flight (the working set the SDPU pre-merge needs);
+- Meta Buffer: the top-level bitmaps plus the level-2 bitmaps of both
+  operands' worst case.
+
+This module computes a T1 task's exact working set per buffer and
+verifies residency, so capacity assumptions the simulator makes
+implicitly become checkable (and sweepable in ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.config import UniSTCConfig
+from repro.arch.tasks import T1Task
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BufferDemand:
+    """Bytes one T1 task needs resident in each buffer."""
+
+    meta_bytes: int
+    matrix_a_bytes: int
+    accumulator_bytes: int
+
+    def fits(self, config: UniSTCConfig) -> bool:
+        """Does the demand fit the configured capacities?"""
+        return (
+            self.meta_bytes <= config.meta_buffer_bytes
+            and self.matrix_a_bytes <= config.matrix_a_buffer_bytes
+            and self.accumulator_bytes <= config.accumulator_buffer_bytes
+        )
+
+    def occupancy(self, config: UniSTCConfig) -> Dict[str, float]:
+        """Fractional occupancy per buffer."""
+        return {
+            "meta": self.meta_bytes / config.meta_buffer_bytes,
+            "matrix_a": self.matrix_a_bytes / config.matrix_a_buffer_bytes,
+            "accumulator": self.accumulator_bytes / config.accumulator_buffer_bytes,
+        }
+
+
+def task_demand(task: T1Task, config: UniSTCConfig = UniSTCConfig()) -> BufferDemand:
+    """Exact buffer working set of one T1 task.
+
+    - Meta: 2 bytes per level-1 bitmap (A, B, C) plus 2 bytes per
+      nonzero tile's level-2 bitmap on each side, plus one byte per
+      nonzero tile of value-pointer offsets.
+    - Matrix A: the block's nonzero values at the configured precision.
+    - Accumulator: one slot per distinct output element *in flight*,
+      bounded by two tiles per active DPG (the pre-merge window).
+    """
+    a = task.a_bitmap()
+    b = task.b_bitmap()
+    value_bytes = config.precision.value_bytes
+    tiles_a = _nonzero_tiles(a, config.tile)
+    tiles_b = _nonzero_tiles(b, config.tile)
+    meta = 3 * 2 + 2 * (tiles_a + tiles_b) + (tiles_a + tiles_b)
+    matrix_a = int(a.sum()) * value_bytes
+    # Pre-merge window: each active DPG accumulates into one 4x4 tile.
+    accumulator = config.num_dpgs * config.tile * config.tile * value_bytes
+    return BufferDemand(
+        meta_bytes=meta, matrix_a_bytes=matrix_a, accumulator_bytes=accumulator
+    )
+
+
+def _nonzero_tiles(bitmap, tile: int) -> int:
+    rows, cols = bitmap.shape
+    count = 0
+    for ti in range(0, rows, tile):
+        for tj in range(0, cols, tile):
+            if bitmap[ti : ti + tile, tj : tj + tile].any():
+                count += 1
+    return count
+
+
+def verify_paper_sizing(config: UniSTCConfig = UniSTCConfig()) -> Dict[str, bool]:
+    """Check the paper's buffer sizes cover the worst-case T1 task.
+
+    Returns per-buffer verdicts; the default configuration must pass
+    all three (this is asserted in the test suite).
+    """
+    import numpy as np
+
+    worst = T1Task.from_bitmaps(
+        np.ones((16, 16), dtype=bool), np.ones((16, 16), dtype=bool)
+    )
+    demand = task_demand(worst, config)
+    occ = demand.occupancy(config)
+    return {name: fraction <= 1.0 for name, fraction in occ.items()}
+
+
+def minimum_config_bytes() -> Dict[str, int]:
+    """The smallest buffer sizes covering a dense FP64 T1 task."""
+    import numpy as np
+
+    worst = T1Task.from_bitmaps(
+        np.ones((16, 16), dtype=bool), np.ones((16, 16), dtype=bool)
+    )
+    demand = task_demand(worst)
+    return {
+        "meta": demand.meta_bytes,
+        "matrix_a": demand.matrix_a_bytes,
+        "accumulator": demand.accumulator_bytes,
+    }
+
+
+def assert_fits(task: T1Task, config: UniSTCConfig = UniSTCConfig()) -> BufferDemand:
+    """Raise when a task's working set exceeds any buffer."""
+    demand = task_demand(task, config)
+    if not demand.fits(config):
+        occ = demand.occupancy(config)
+        over = {k: v for k, v in occ.items() if v > 1.0}
+        raise ConfigError(f"T1 working set exceeds buffer capacity: {over}")
+    return demand

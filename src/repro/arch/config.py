@@ -1,0 +1,104 @@
+"""Configuration objects for Uni-STC and the shared precision settings.
+
+The paper's throughput-aligned comparison (§VI-A) fixes the MAC budget
+of *every* evaluated architecture at 64 MACs for FP64 and 128 for FP32
+(256 for FP16); Table VI then lists how each design shapes that budget
+into T3 tasks.  :class:`Precision` carries that budget, and
+:class:`UniSTCConfig` the Uni-STC-specific knobs (notably the DPG count
+swept in Fig. 22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A numeric precision and the MAC budget it buys (§IV-A item 3)."""
+
+    name: str
+    bits: int
+    macs: int
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes per operand value."""
+        return self.bits // 8
+
+
+#: 64 MACs at FP64 — the sparse-kernel evaluation setting.
+FP64 = Precision("fp64", 64, 64)
+#: 128 MACs at FP32 — the DNN-inference evaluation setting.
+FP32 = Precision("fp32", 32, 128)
+#: 256 MACs at FP16 — the paper's scaling headroom claim.
+FP16 = Precision("fp16", 16, 256)
+
+PRECISIONS = {p.name: p for p in (FP64, FP32, FP16)}
+
+
+@dataclass(frozen=True)
+class UniSTCConfig:
+    """Uni-STC architecture parameters (defaults = the paper's design).
+
+    - ``num_dpgs``: 8 by default, swept over {4, 8, 16} in Fig. 22.
+    - ``tile``: T3 task side (4 -> the 4x4x4 task of Table IV).
+    - ``adaptive_ordering``: the TMS's row-/column-major intra-layer
+      switch (§IV-A step 2).
+    - ``dynamic_gating``: power-gate DPGs beyond what saturates the
+      SDPU (§IV-C step 2).
+    - ``conflict_stall``: model the tile-queue round-robin stall on
+      same-output-tile conflicts (Fig. 8 step 3).
+    """
+
+    precision: Precision = FP64
+    num_dpgs: int = 8
+    tile: int = 4
+    block: int = 16
+    frequency_ghz: float = 1.5
+    tile_queue_depth: int = 16
+    dot_queue_depth: int = 64
+    adaptive_ordering: bool = True
+    dynamic_gating: bool = True
+    conflict_stall: bool = True
+    #: Cycles a power-gated DPG needs to wake (§IV-C assumes the TMS's
+    #: look-ahead hides this; set lookahead_cycles below wakeup_cycles
+    #: to expose the penalty in ablations).
+    dpg_wakeup_cycles: int = 1
+    lookahead_cycles: int = 1
+    meta_buffer_bytes: int = 144
+    matrix_a_buffer_bytes: int = 2048
+    accumulator_buffer_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.num_dpgs <= 0:
+            raise ConfigError(f"num_dpgs must be positive, got {self.num_dpgs}")
+        if self.block % self.tile:
+            raise ConfigError(f"block {self.block} not divisible by tile {self.tile}")
+        if self.tile_queue_depth < self.num_dpgs:
+            raise ConfigError("tile queue must hold at least one task per DPG")
+
+    @property
+    def macs(self) -> int:
+        """MAC lanes available per cycle at the configured precision."""
+        return self.precision.macs
+
+    @property
+    def tiles_per_side(self) -> int:
+        """Tile-grid side within a block (4 for the paper's design)."""
+        return self.block // self.tile
+
+    @property
+    def max_products_per_t3(self) -> int:
+        """Intermediate-product bound of one T3 task (tile^3 = 64)."""
+        return self.tile ** 3
+
+    def with_dpgs(self, num_dpgs: int) -> "UniSTCConfig":
+        """A copy with a different DPG count (the Fig. 22 sweep)."""
+        return replace(self, num_dpgs=num_dpgs)
+
+    def with_precision(self, precision: Precision) -> "UniSTCConfig":
+        """A copy at a different precision."""
+        return replace(self, precision=precision)

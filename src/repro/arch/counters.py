@@ -1,0 +1,89 @@
+"""Action counters — the Sparseloop-style energy accounting substrate.
+
+Every STC model emits a :class:`Counters` object per simulated block:
+a typed bag of "how many times did this hardware action happen".  The
+energy model (:mod:`repro.energy.model`) later multiplies each counter
+by an energy-per-action constant.  Keeping counting and costing apart
+is exactly the Sparseloop methodology the paper cites (§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+#: The counter names every model may emit.  Models are free to leave
+#: counters at zero but may not invent new names — this keeps the
+#: energy table exhaustive.
+ACTIONS = (
+    "mac_ops",            # effective multiply-accumulates executed
+    "lane_cycles",        # MAC-lane slots occupied (incl. padding within a task)
+    "a_elem_reads",       # A nonzero values fetched from buffer/registers
+    "b_elem_reads",       # B values fetched
+    "c_elem_writes",      # result elements written towards C
+    "a_net_transfers",    # A elements crossing the operand network
+    "b_net_transfers",    # B elements crossing the operand network
+    "c_net_transfers",    # C elements crossing the output network
+    "a_broadcasts",       # A operand broadcast hops inside the MUX stage
+    "b_broadcasts",       # B operand broadcast hops inside the MUX stage
+    "tile_fetches",       # 4x4 tiles moved by the outer (tile) network
+    "meta_reads",         # bitmap/metadata words read (TMS + DPG)
+    "queue_ops",          # tile-queue / dot-product-queue pushes+pops
+    "dpg_active_cycles",  # DPG-cycles spent powered on
+    "dpg_gated_cycles",   # DPG-cycles spent power-gated (leakage only)
+    "accum_accesses",     # accumulator-buffer read-modify-writes
+    "sched_cycles",       # scheduler (TMS or equivalent front-end) cycles
+)
+
+
+class Counters:
+    """A fixed-vocabulary action-count accumulator."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Mapping[str, float] = None):
+        self._data: Dict[str, float] = {}
+        if initial:
+            for key, value in initial.items():
+                self.add(key, value)
+
+    def add(self, action: str, count: float) -> None:
+        """Add ``count`` occurrences of ``action``."""
+        if action not in ACTIONS:
+            raise KeyError(f"unknown action {action!r}; extend counters.ACTIONS")
+        if count:
+            self._data[action] = self._data.get(action, 0.0) + count
+
+    def get(self, action: str) -> float:
+        """Current count of ``action`` (0.0 if never recorded)."""
+        if action not in ACTIONS:
+            raise KeyError(f"unknown action {action!r}")
+        return self._data.get(action, 0.0)
+
+    def merge(self, other: "Counters", weight: float = 1.0) -> None:
+        """Accumulate ``other`` scaled by ``weight`` into this object."""
+        for action, count in other._data.items():
+            self._data[action] = self._data.get(action, 0.0) + count * weight
+
+    def scaled(self, weight: float) -> "Counters":
+        """Return a new Counters with every count multiplied by ``weight``."""
+        out = Counters()
+        for action, count in self._data.items():
+            out._data[action] = count * weight
+        return out
+
+    def items(self) -> Iterator:
+        """Iterate ``(action, count)`` pairs with nonzero counts."""
+        return iter(self._data.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict snapshot (copy) of the nonzero counters."""
+        return dict(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return self._data == other._data
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._data.items()))
+        return f"Counters({inner})"

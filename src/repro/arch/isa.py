@@ -1,0 +1,95 @@
+"""UWMMA — the Uni-STC instruction set (Table V) and its lifecycle.
+
+Instructions follow WMMA semantics.  Operand-type suffixes: ``i`` for
+8-bit indexes, ``b`` for 16-bit bitmaps, ``v`` for 64-bit values.  The
+MV variants drive SpMV/SpMSpV (Algorithm 1), the MM variants
+SpMM/SpGEMM (Algorithm 2); the `stc.load.a` instruction exists because
+block values of A live in Uni-STC's internal 2 KB buffer to stay under
+PTX's 20-operand register limit (§IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One UWMMA instruction with its Table V cycle bounds."""
+
+    opcode: str
+    min_cycles: int
+    max_cycles: int
+    registers: Tuple[str, ...]
+
+    def cycles_for(self, work: int) -> int:
+        """Actual cycles for a task needing ``work`` execution cycles."""
+        return max(self.min_cycles, min(self.max_cycles, work))
+
+
+#: The Table V instruction set at FP64.
+UWMMA = {
+    "stc.load.meta_mv": Instruction(
+        "stc.load.meta_mv", 1, 1, ("A16b_1", "A16b_2", "X16b", "A4b/A4i_1", "A4b/A4i_2")
+    ),
+    "stc.load.meta_mm": Instruction(
+        "stc.load.meta_mm", 1, 1, ("A16b", "B16b", "C16b", "A4b/A4i", "B4b/B4i", "C4b/C4i")
+    ),
+    "stc.load.a": Instruction("stc.load.a", 2, 2, ("Av0..7",)),
+    "stc.task_gen.mv": Instruction("stc.task_gen.mv", 1, 4, ()),
+    "stc.task_gen.mm": Instruction("stc.task_gen.mm", 1, 8, ()),
+    "stc.numeric.mv": Instruction("stc.numeric.mv", 1, 8, ("Av8..15", "Xv", "Yv")),
+    "stc.numeric.mm": Instruction("stc.numeric.mm", 1, 64, ("Bv0..7", "Cv0..7")),
+}
+
+#: Register-operand ceiling of a PTX MMA instruction (§IV-F).
+PTX_MAX_FP64_OPERANDS = 20
+
+
+def instruction_sequence(kernel: str, exec_cycles: int) -> List[Tuple[str, int]]:
+    """The UWMMA sequence executing one T1 task of the given kernel.
+
+    Returns ``(opcode, cycles)`` pairs.  ``exec_cycles`` is the SDPU
+    execution time the simulator computed; task generation runs
+    asynchronously (§IV-G) so its cycles overlap and are reported for
+    bookkeeping, not summed by callers modelling throughput.
+    """
+    vector = kernel.lower() in ("spmv", "spmspv")
+    if kernel.lower() not in ("spmv", "spmspv", "spmm", "spgemm"):
+        raise SimulationError(f"unknown kernel {kernel!r}")
+    suffix = "mv" if vector else "mm"
+    seq = [
+        (f"stc.load.meta_{suffix}", UWMMA[f"stc.load.meta_{suffix}"].min_cycles),
+        ("stc.load.a", UWMMA["stc.load.a"].min_cycles),
+        (f"stc.task_gen.{suffix}", UWMMA[f"stc.task_gen.{suffix}"].cycles_for(max(1, exec_cycles // 8))),
+        (f"stc.numeric.{suffix}", UWMMA[f"stc.numeric.{suffix}"].cycles_for(max(1, exec_cycles))),
+    ]
+    return seq
+
+
+def synchronous_cycles(sequence: List[Tuple[str, int]]) -> int:
+    """Cycles the SM observes: loads + numeric (task_gen is asynchronous)."""
+    total = 0
+    for opcode, cycles in sequence:
+        if not opcode.startswith("stc.task_gen"):
+            total += cycles
+    return total
+
+
+def validate_register_pressure() -> bool:
+    """Check every UWMMA variant respects the PTX operand ceiling."""
+    for inst in UWMMA.values():
+        # Each register group names at most 8 FP64 registers; count them.
+        operands = 0
+        for group in inst.registers:
+            if ".." in group:
+                lo, hi = group.split("..")
+                operands += int(hi) - int("".join(c for c in lo if c.isdigit()) or 0) + 1
+            else:
+                operands += 1
+        if operands > PTX_MAX_FP64_OPERANDS:
+            return False
+    return True

@@ -1,0 +1,96 @@
+"""Three-stage internal pipeline and execution-lifecycle model (§IV-C/G).
+
+Stage 1 (TMS: task generation) → Stage 2 (DPGs: task concatenation) →
+Stage 3 (SDPU: execute & write C), decoupled by the Tile queue and the
+Dot-product queue, which carry *control information only* (task codes
+and network selects, never operand values).
+
+The model exposes two views used elsewhere in the package:
+
+- ``latency_cycles``: end-to-end latency of one T1 task including the
+  pipeline fill (what the `stc.numeric` stall in §IV-G observes);
+- ``throughput_cycles``: steady-state occupancy (what back-to-back T1
+  tasks cost), which is the figure the performance evaluation uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.arch.config import UniSTCConfig
+from repro.errors import SimulationError
+
+#: Depth of the internal pipeline (Fig. 12's three stages).
+PIPELINE_STAGES = 3
+
+
+class CoreState(enum.Enum):
+    """The Uni-STC flag register of the execution lifecycle (§IV-G)."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+    READY = "ready"
+
+
+@dataclass
+class PipelineTrace:
+    """State-register transitions of one T1 task's lifecycle."""
+
+    states: List[CoreState] = field(default_factory=lambda: [CoreState.IDLE])
+    stall_cycles: int = 0
+
+    def transition(self, state: CoreState) -> None:
+        self.states.append(state)
+
+    @property
+    def current(self) -> CoreState:
+        return self.states[-1]
+
+
+class UniSTCPipeline:
+    """Cycle bookkeeping of the TMS→DPG→SDPU pipeline."""
+
+    def __init__(self, config: UniSTCConfig):
+        self.config = config
+
+    def latency_cycles(self, exec_cycles: int) -> int:
+        """End-to-end latency of one isolated T1 task.
+
+        The SDPU can start only after the first Tile-queue and Dot-
+        product-queue entries exist, i.e. after the two front stages
+        have each produced once: fill = stages - 1.
+        """
+        if exec_cycles < 0:
+            raise SimulationError("execution cycles must be non-negative")
+        if exec_cycles == 0:
+            return 1
+        return exec_cycles + (PIPELINE_STAGES - 1)
+
+    def throughput_cycles(self, exec_cycles: int) -> int:
+        """Steady-state cost when T1 tasks stream back-to-back.
+
+        Task generation for task *n+1* overlaps execution of task *n*
+        (the asynchronous `stc.task_gen` of §IV-G), so the fill cost is
+        paid once per stream, not per task.
+        """
+        return max(1, exec_cycles)
+
+    def lifecycle(self, exec_cycles: int, queue_fill_cycles: int = 1) -> PipelineTrace:
+        """Simulate the §IV-G flag-register lifecycle of one T1 task.
+
+        IDLE → (stc.task_gen) BUSY → (queues populated) READY →
+        execute → IDLE.  A `stc.numeric` issued while BUSY stalls, and
+        the trace records those stall cycles.
+        """
+        trace = PipelineTrace()
+        trace.transition(CoreState.BUSY)            # stc.task_gen issued
+        for _ in range(max(0, queue_fill_cycles)):  # DPGs populating queues
+            trace.stall_cycles += 1
+            trace.transition(CoreState.BUSY)
+        trace.transition(CoreState.READY)           # stc.numeric may proceed
+        for _ in range(exec_cycles):
+            trace.transition(CoreState.READY)
+        trace.transition(CoreState.IDLE)            # batch complete, write-back
+        return trace

@@ -1,0 +1,81 @@
+"""The T3 task-size trade-off model behind Table IV (§IV-A).
+
+For a candidate cubic T3 size ``t`` (2, 4 or 8) with a fixed MAC budget
+and a fixed per-T1 16x16x16 task, the table reports:
+
+- **cycles** a single T3 task needs on the SDPU (timing: one cycle is
+  only achievable when t^3 intermediate products fit the MAC array);
+- **#DPGs to saturate the SDPU** — how many tile decomposers must run
+  in parallel so the MAC array never starves, as a (sparse..dense)
+  range;
+- **network scale** to route tiles (grows as the tile count per block
+  rises) and to route nonzeros within a tile (grows as t^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.baselines.common import ceil_div
+
+
+@dataclass(frozen=True)
+class TileSizeTradeoff:
+    """Analytic consequences of one T3 task size."""
+
+    tile: int
+    cycles_per_t3: int
+    dpgs_to_saturate: Tuple[int, int]
+    tile_network_scale: int
+    nonzero_network_scale: Tuple[int, int]
+
+    @property
+    def meets_timing(self) -> bool:
+        """Single-cycle T3 execution (the paper's 1.5 GHz constraint)."""
+        return self.cycles_per_t3 == 1
+
+    @property
+    def dpg_count_reasonable(self) -> bool:
+        """Neither the 'high' counts of 2x2x2 nor the 'low' of 8x8x8."""
+        return 4 <= self.dpgs_to_saturate[0] and self.dpgs_to_saturate[1] <= 16
+
+
+def evaluate_tile_size(tile: int, macs: int = 64, block: int = 16) -> TileSizeTradeoff:
+    """Reproduce one row of Table IV for a cubic tile of side ``tile``."""
+    if block % tile:
+        raise ValueError(f"tile {tile} must divide the block side {block}")
+    max_products = tile ** 3
+    cycles = ceil_div(max_products, macs)
+    # A DPG emits the T4 stream of one T3 task per cycle; a realistic
+    # sparse tile pair yields between tile^2/2 and tile^2/4 intermediate
+    # products, so saturating the MAC array needs between 2*macs/tile^2
+    # and 4*macs/tile^2 generators (Table IV: 32-64 / 8-16 / 2-4).
+    low_dpgs = max(1, ceil_div(2 * macs, tile * tile))
+    high_dpgs = max(1, ceil_div(4 * macs, tile * tile))
+    tiles_per_block = (block // tile) ** 2
+    return TileSizeTradeoff(
+        tile=tile,
+        cycles_per_t3=cycles,
+        dpgs_to_saturate=(low_dpgs, high_dpgs),
+        tile_network_scale=tiles_per_block,
+        nonzero_network_scale=(tile * tile, tile * tile),
+    )
+
+
+def table_iv(macs: int = 64) -> Tuple[TileSizeTradeoff, ...]:
+    """All three candidate rows of Table IV."""
+    return tuple(evaluate_tile_size(t, macs) for t in (2, 4, 8))
+
+
+def best_tile_size(macs: int = 64) -> int:
+    """The size Table IV selects: single-cycle timing with <= 16 DPGs.
+
+    Among candidates meeting both constraints, pick the one with the
+    smallest tile-routing network — which lands on 4 for a 64-MAC
+    budget, the paper's choice.
+    """
+    candidates = [t for t in table_iv(macs) if t.meets_timing and t.dpg_count_reasonable]
+    if not candidates:
+        raise ValueError("no tile size satisfies the Table IV constraints")
+    return min(candidates, key=lambda t: (t.tile_network_scale * t.dpgs_to_saturate[1])).tile

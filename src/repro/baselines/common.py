@@ -1,0 +1,27 @@
+"""Shared helpers for the baseline STC dataflow models."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.arch.tasks import T1Task
+
+
+def operand_arrays(task: T1Task) -> Tuple[np.ndarray, np.ndarray]:
+    """The task's A (16x16) and B (16xN) occupancy arrays."""
+    return task.a_bitmap(), task.b_bitmap()
+
+
+def chunks(count: int, size: int) -> Iterator[int]:
+    """Yield chunk sizes covering ``count`` items ``size`` at a time."""
+    remaining = count
+    while remaining > 0:
+        yield min(size, remaining)
+        remaining -= size
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    return -(-a // b)

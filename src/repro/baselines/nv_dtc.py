@@ -1,0 +1,82 @@
+"""NV-DTC — the A100's dense tensor core as the no-sparsity baseline.
+
+Task hierarchy (Table III): T2 = 8x8x4 machine-instruction tasks that
+the GPU front-end can skip only when an operand region is entirely
+empty (coarse, software-level sparsity support); each surviving T2 runs
+its fixed grid of dense T3 tasks (4x4x4 at FP64, 8x4x4 at FP32), one
+cycle each, regardless of the nonzeros inside.  That rigidity is what
+drives Fig. 5's ">84% of cycles below 25% utilisation" observation.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import BlockResult, STCModel
+from repro.arch.config import FP64, Precision
+from repro.arch.counters import Counters
+from repro.arch.tasks import T1Task, UtilHistogram
+from repro.baselines.common import ceil_div, operand_arrays
+
+
+class NvDTC(STCModel):
+    """Dense tensor core model (NV-DTC)."""
+
+    def __init__(self, precision: Precision = FP64):
+        self.precision = precision
+        # T3 task shape: M grows with the MAC budget (Table VI row NV-DTC).
+        self.t3_m = 4 if precision.macs == 64 else 8
+        self.t3_n = 4
+        self.t3_k = 4
+        self.name = "nv-dtc"
+
+    @property
+    def macs(self) -> int:
+        return self.precision.macs
+
+    def cache_key(self) -> str:
+        return f"nv:{self.precision.name}"
+
+    def simulate_block(self, task: T1Task) -> BlockResult:
+        a, b = operand_arrays(task)
+        n = b.shape[1]
+        hist = UtilHistogram()
+        counters = Counters()
+        cycles = 0
+        products = 0
+
+        t2_m, t2_n, t2_k = 8, min(8, n), 4
+        for mi in range(ceil_div(16, t2_m)):
+            for ni in range(ceil_div(n, t2_n)):
+                for ki in range(ceil_div(16, t2_k)):
+                    a_region = a[mi * t2_m : (mi + 1) * t2_m, ki * t2_k : (ki + 1) * t2_k]
+                    b_region = b[ki * t2_k : (ki + 1) * t2_k, ni * t2_n : (ni + 1) * t2_n]
+                    if not a_region.any() or not b_region.any():
+                        continue  # the front-end skip mechanism
+                    # Execute the full T3 grid of this T2 task.
+                    for m3 in range(ceil_div(t2_m, self.t3_m)):
+                        for n3 in range(ceil_div(b_region.shape[1], self.t3_n)):
+                            a_sub = a_region[m3 * self.t3_m : (m3 + 1) * self.t3_m]
+                            b_sub = b_region[:, n3 * self.t3_n : (n3 + 1) * self.t3_n]
+                            eff = int((a_sub.sum(axis=0) * b_sub.sum(axis=1)).sum())
+                            cycles += 1
+                            products += eff
+                            hist.record(eff / self.macs)
+                            # Dense operand delivery: the full region is
+                            # fetched whether or not elements are zero.
+                            counters.add("a_elem_reads", a_sub.size)
+                            counters.add("b_elem_reads", b_sub.size)
+                            counters.add("a_net_transfers", a_sub.size)
+                            counters.add("b_net_transfers", b_sub.size)
+                            counters.add("mac_ops", eff)
+
+        if cycles == 0:
+            hist.record(0.0)
+            cycles = 1
+        # Accumulators are local: C is written once per output element.
+        c_writes = 16 * n
+        counters.add("c_elem_writes", c_writes)
+        counters.add("c_net_transfers", c_writes)
+        counters.add("accum_accesses", c_writes)
+        counters.add("lane_cycles", self.macs * cycles)
+        counters.add("sched_cycles", cycles)
+        counters.add("meta_reads", 1)
+        return BlockResult(cycles=cycles, products=products, util_hist=hist, counters=counters)

@@ -1,0 +1,124 @@
+"""RM-STC — the row-merge sparse tensor core (row-row dataflow).
+
+Per Table VI its T3 task is 8x4x2 at FP64 (16x4x2 at FP32): eight
+independent *row lanes*, each multiplying two of its A row's gathered
+nonzero scalars against a 4-column chunk of the correspondingly merged
+B rows ("scalars mul. vectors to update vectors", Table I).  Because
+each lane pairs the scalars of its *own* row, the A side is fully
+gathered — RM-STC's strength over the outer-product design.  The model
+keeps its published limitations:
+
+- K is fixed at 2 per lane-step and concatenation is allowed only
+  along N (Fig. 6), so SpMV utilisation is capped at 8*2/64 = 25%;
+- partial products merge only within a scalar pair (merge factor <= 2)
+  before writing C — better than DS-STC's none, short of Uni-STC's
+  4-way SDPU pre-merge;
+- lanes finish unevenly on irregular rows, and the block completes
+  with its slowest lane schedule — RM-STC's "particularly sensitive to
+  the sparsity of matrix A" behaviour (§VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.arch.base import BlockResult, STCModel
+from repro.arch.config import FP64, Precision
+from repro.arch.counters import Counters
+from repro.arch.tasks import T1Task, UtilHistogram
+from repro.baselines.common import operand_arrays
+
+
+class RmSTC(STCModel):
+    """Row-merge sparse tensor core model."""
+
+    def __init__(self, precision: Precision = FP64):
+        self.precision = precision
+        self.lanes = 8 if precision.macs == 64 else 16
+        self.chunk_cols = 4
+        self.k_pair = 2
+        self.name = "rm-stc"
+
+    @property
+    def macs(self) -> int:
+        return self.precision.macs
+
+    def cache_key(self) -> str:
+        return f"rm:{self.precision.name}"
+
+    def simulate_block(self, task: T1Task) -> BlockResult:
+        a, b = operand_arrays(task)
+        hist = UtilHistogram()
+        counters = Counters()
+
+        # Per row: gather its nonzero scalars, pair them, and for each
+        # pair count the 4-column chunks of the merged B rows.  Each
+        # (pair, chunk) combination is one lane-slot of work.
+        slot_products: List[List[int]] = []   # per row, products per slot
+        slot_writes: List[List[int]] = []
+        total_products = 0
+        used_ks: set = set()
+        for i in range(16):
+            ks = np.flatnonzero(a[i])
+            if ks.size == 0:
+                continue
+            counters.add("a_elem_reads", int(ks.size))
+            counters.add("a_net_transfers", int(ks.size))
+            counters.add("meta_reads", 1)
+            row_slots_p: List[int] = []
+            row_slots_w: List[int] = []
+            for p in range(0, ks.size, self.k_pair):
+                pair = ks[p : p + self.k_pair]
+                merged = b[pair]                      # (<=2, N)
+                live = np.flatnonzero(merged.any(axis=0))
+                if live.size == 0:
+                    continue
+                used_ks.update(int(k) for k in pair)
+                per_col = merged[:, live].sum(axis=0)  # matched products/col
+                for c0 in range(0, live.size, self.chunk_cols):
+                    seg = per_col[c0 : c0 + self.chunk_cols]
+                    eff = int(seg.sum())
+                    row_slots_p.append(eff)
+                    row_slots_w.append(int(np.count_nonzero(seg)))
+                    total_products += eff
+            if row_slots_p:
+                slot_products.append(row_slots_p)
+                slot_writes.append(row_slots_w)
+        # B rows are fetched once per block into the shared row-merge
+        # buffer and broadcast to the lanes that need them.
+        b_traffic = int(sum(b[k].sum() for k in used_ks))
+        counters.add("b_elem_reads", b_traffic)
+        counters.add("b_net_transfers", b_traffic)
+
+        if not slot_products:
+            hist.record(0.0)
+            counters.add("lane_cycles", self.macs)
+            counters.add("sched_cycles", 1)
+            return BlockResult(cycles=1, products=0, util_hist=hist, counters=counters)
+
+        # Schedule rows onto the lane array: longest-row first onto the
+        # least-loaded lane (the hardware's greedy issue), then the
+        # block finishes with the fullest lane.
+        lane_loads = [0] * self.lanes
+        lane_queues: List[List[int]] = [[] for _ in range(self.lanes)]
+        order = sorted(range(len(slot_products)), key=lambda r: -len(slot_products[r]))
+        for r in order:
+            lane = lane_loads.index(min(lane_loads))
+            lane_queues[lane].extend(slot_products[r])
+            lane_loads[lane] += len(slot_products[r])
+            counters.add("c_elem_writes", sum(slot_writes[r]))
+            counters.add("c_net_transfers", sum(slot_writes[r]))
+            counters.add("accum_accesses", sum(slot_writes[r]))
+        cycles = max(lane_loads)
+        for c in range(cycles):
+            eff = sum(queue[c] for queue in lane_queues if c < len(queue))
+            hist.record(eff / self.macs)
+
+        counters.add("mac_ops", total_products)
+        counters.add("lane_cycles", self.macs * cycles)
+        counters.add("sched_cycles", cycles)
+        return BlockResult(
+            cycles=cycles, products=total_products, util_hist=hist, counters=counters
+        )

@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info`` — package, configuration and model inventory.
+- ``kernels`` — run one or more kernels on a matrix across STCs.
+- ``formats`` — Fig. 15-style format analysis of a matrix.
+- ``amg`` — build/solve an AMG hierarchy and replay its trace.
+- ``area`` — Table IX area breakdown for a DPG count.
+- ``trace`` — cycle-by-cycle dataflow walkthrough of one block.
+
+Matrices are named with compact specs:
+
+- ``band:N:BW:D``     banded, side N, bandwidth BW, density D
+- ``random:N:D``      uniform random
+- ``rmat:SCALE``      R-MAT graph with 2^SCALE vertices
+- ``rep:NAME``        a Table VII stand-in (consph, cant, gupta3, ...)
+- ``mtx:PATH``        a Matrix Market file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.arch.config import UniSTCConfig
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, Gamma, NvDTC, NvDTCSparse, RmSTC, Sigma, Trapezoid
+from repro.errors import ReproError
+from repro.formats.advisor import analyse
+from repro.formats.bbc import BBCMatrix
+from repro.formats.coo import COOMatrix
+
+_STC_FACTORIES = {
+    "nv-dtc": NvDTC,
+    "nv-dtc-2:4": NvDTCSparse,
+    "gamma": Gamma,
+    "sigma": Sigma,
+    "trapezoid": Trapezoid,
+    "ds-stc": DsSTC,
+    "rm-stc": RmSTC,
+    "uni-stc": UniSTC,
+}
+
+
+def parse_matrix_spec(spec: str) -> COOMatrix:
+    """Materialise a matrix from its compact CLI spec."""
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    from repro.workloads import representative, synthetic
+    from repro.workloads.matrixmarket import read_mtx
+    from repro.workloads.structured import rmat
+
+    if kind == "band":
+        n, bw, density = int(parts[0]), int(parts[1]), float(parts[2])
+        return synthetic.banded(n, bw, density, run_length=2, seed=7)
+    if kind == "random":
+        n, density = int(parts[0]), float(parts[1])
+        return synthetic.random_uniform(n, n, density, seed=7)
+    if kind == "rmat":
+        return rmat(int(parts[0]), seed=7)
+    if kind == "rep":
+        return representative.build_matrix(parts[0], n=256)
+    if kind == "mtx":
+        return read_mtx(":".join(parts))
+    raise ReproError(f"unknown matrix spec {spec!r}")
+
+
+def _build_stcs(names: str) -> List:
+    stcs = []
+    for name in names.split(","):
+        name = name.strip()
+        if name not in _STC_FACTORIES:
+            raise ReproError(
+                f"unknown STC {name!r}; choose from {sorted(_STC_FACTORIES)}"
+            )
+        stcs.append(_STC_FACTORIES[name]())
+    return stcs
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    cfg = UniSTCConfig()
+    print(f"repro {repro.__version__} — Uni-STC reproduction (HPCA 2026)")
+    print(f"default Uni-STC: {cfg.num_dpgs} DPGs, {cfg.macs} MACs @ "
+          f"{cfg.precision.name}, {cfg.frequency_ghz} GHz target")
+    print(f"architectures: {', '.join(sorted(_STC_FACTORIES))}")
+    print("kernels: spmv, spmspv, spmm, spgemm")
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.vector import SparseVector
+    from repro.sim.engine import simulate_kernel
+
+    coo = parse_matrix_spec(args.matrix)
+    bbc = BBCMatrix.from_coo(coo)
+    print(f"matrix: {coo}  ({bbc.nblocks} BBC blocks)")
+    stcs = _build_stcs(args.stc)
+    rows = []
+    for kernel in args.kernel.split(","):
+        kernel = kernel.strip()
+        kwargs = {}
+        if kernel == "spmspv":
+            rng = np.random.default_rng(0)
+            dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
+            kwargs["x"] = SparseVector.from_dense(dense)
+        reports = {s.name: simulate_kernel(kernel, bbc, s, **kwargs) for s in stcs}
+        baseline = next(iter(reports.values()))
+        for name, report in reports.items():
+            rows.append([
+                kernel, name, report.cycles, 100 * report.mean_utilisation,
+                report.energy_pj / 1e3, baseline.cycles / report.cycles,
+            ])
+    print(render_table(
+        ["kernel", "stc", "cycles", "util (%)", "energy (nJ)", "speedup"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_formats(args: argparse.Namespace) -> int:
+    coo = parse_matrix_spec(args.matrix)
+    report = analyse(coo)
+    rows = [[fmt, size, report.metadata_bytes["csr"] / size]
+            for fmt, size in report.metadata_bytes.items()]
+    print(render_table(["format", "metadata bytes", "reduction vs CSR"], rows))
+    print(f"\nNnzPB = {report.nnz_per_block:.2f}; recommended: {report.recommendation}")
+    return 0
+
+
+def cmd_amg(args: argparse.Namespace) -> int:
+    from repro.apps.amg import AMGSolver
+    from repro.formats.csr import CSRMatrix
+    from repro.workloads.synthetic import poisson2d
+
+    a = CSRMatrix.from_coo(poisson2d(args.grid))
+    solver = AMGSolver(a)
+    result = solver.solve(np.ones(a.shape[0]))
+    print(f"Poisson {args.grid}x{args.grid}: levels "
+          f"{[l.a.shape[0] for l in solver.levels]}, "
+          f"{result.iterations} V-cycles, converged={result.converged}")
+    rows = []
+    for stc in _build_stcs(args.stc):
+        per_kernel = solver.trace.replay(stc)
+        rows.append([stc.name] + [per_kernel[k].cycles for k in ("spmv", "spgemm")])
+    print(render_table(["stc", "spmv cycles", "spgemm cycles"], rows))
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    from repro.energy.area import area_breakdown, die_percentage, total_area_mm2
+
+    config = (UniSTCConfig(num_dpgs=args.dpgs) if args.dpgs >= 8
+              else UniSTCConfig(num_dpgs=args.dpgs, tile_queue_depth=2 * args.dpgs))
+    rows = [[module, area] for module, area in area_breakdown(config).items()]
+    rows.append(["Total Overhead", total_area_mm2(config)])
+    print(render_table(["module", "area (mm^2)"], rows, precision=4))
+    print(f"\n432 units = {die_percentage(config):.2f}% of an A100 die")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.arch.dataflow_trace import trace_block
+    from repro.arch.tasks import T1Task
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.random((16, 16)) < args.density
+    b = rng.random((16, 16)) < args.density
+    task = T1Task.from_bitmaps(a, b)
+    print(f"T1 task: {task.intermediate_products()} intermediate products")
+    print(trace_block(task).render(max_cycles=args.cycles))
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Corpus sweep: Table VIII-style Aver/Max rows per kernel."""
+    from repro.kernels.vector import SparseVector
+    from repro.sim.engine import simulate_kernel
+    from repro.sim.results import compare
+    from repro.workloads.suitesparse import corpus, iter_matrices
+
+    stcs = _build_stcs(args.stc)
+    if len(stcs) < 2:
+        raise ReproError("corpus needs at least two STCs (target ... baseline)")
+    target, baselines = stcs[-1], stcs[:-1]
+    specs = corpus(sizes=(128,), limit=args.limit)
+    kernels = [k.strip() for k in args.kernel.split(",")]
+    per_kernel = {k: {s.name: [] for s in stcs} for k in kernels}
+    rng = np.random.default_rng(0)
+    for name, coo in iter_matrices(specs):
+        bbc = BBCMatrix.from_coo(coo)
+        for kernel in kernels:
+            kwargs = {}
+            if kernel == "spmspv":
+                dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
+                kwargs["x"] = SparseVector.from_dense(dense)
+            for stc in stcs:
+                per_kernel[kernel][stc.name].append(
+                    simulate_kernel(kernel, bbc, stc, matrix=name, **kwargs)
+                )
+    rows = []
+    for kernel in kernels:
+        ours = per_kernel[kernel][target.name]
+        for baseline in baselines:
+            row = compare(ours, per_kernel[kernel][baseline.name], baseline.name)
+            rows.append([kernel, f"vs {baseline.name}", row.avg_speedup,
+                         row.avg_energy_reduction, row.avg_efficiency, row.max_efficiency])
+    print(f"{target.name} over a {len(specs)}-matrix corpus:")
+    print(render_table(
+        ["kernel", "baseline", "Aver P", "Aver E", "Aver ExP", "Max ExP"], rows
+    ))
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    """Run the benchmark suite — the per-figure reproduction harness."""
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print("error: benchmarks/ directory not found (run from a source checkout)",
+              file=sys.stderr)
+        return 2
+    cmd = [sys.executable, "-m", "pytest", str(bench_dir), "--benchmark-only", "-s", "-q"]
+    if args.filter:
+        cmd += ["-k", args.filter]
+    if getattr(args, "json", ""):
+        cmd += [f"--benchmark-json={args.json}"]
+    return subprocess.call(cmd)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    print(generate_report(args.json))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and model inventory").set_defaults(func=cmd_info)
+
+    kernels = sub.add_parser("kernels", help="simulate kernels on a matrix")
+    kernels.add_argument("--matrix", default="band:256:24:0.3")
+    kernels.add_argument("--kernel", default="spmv,spgemm")
+    kernels.add_argument("--stc", default="ds-stc,rm-stc,uni-stc")
+    kernels.set_defaults(func=cmd_kernels)
+
+    formats = sub.add_parser("formats", help="format-selection analysis")
+    formats.add_argument("--matrix", default="band:256:24:0.3")
+    formats.set_defaults(func=cmd_formats)
+
+    amg = sub.add_parser("amg", help="AMG case study")
+    amg.add_argument("--grid", type=int, default=20)
+    amg.add_argument("--stc", default="ds-stc,rm-stc,uni-stc")
+    amg.set_defaults(func=cmd_amg)
+
+    area = sub.add_parser("area", help="Table IX area breakdown")
+    area.add_argument("--dpgs", type=int, default=8)
+    area.set_defaults(func=cmd_area)
+
+    trace = sub.add_parser("trace", help="dataflow walkthrough of one block")
+    trace.add_argument("--density", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--cycles", type=int, default=4)
+    trace.set_defaults(func=cmd_trace)
+
+    corpus_cmd = sub.add_parser("corpus", help="Table VIII-style corpus sweep")
+    corpus_cmd.add_argument("--limit", type=int, default=10)
+    corpus_cmd.add_argument("--kernel", default="spmv,spgemm")
+    corpus_cmd.add_argument(
+        "--stc", default="ds-stc,rm-stc,uni-stc",
+        help="comma list; the LAST entry is the target, the rest baselines",
+    )
+    corpus_cmd.set_defaults(func=cmd_corpus)
+
+    paper = sub.add_parser(
+        "paper", help="regenerate every paper table/figure (runs the benchmark suite)"
+    )
+    paper.add_argument("--filter", default="", help="pytest -k expression")
+    paper.add_argument("--json", default="", help="also write benchmark JSON here")
+    paper.set_defaults(func=cmd_paper)
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured markdown from a benchmark JSON"
+    )
+    report.add_argument("json", help="file from pytest --benchmark-json")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

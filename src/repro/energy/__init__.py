@@ -1,0 +1,17 @@
+"""Energy (Sparseloop-style) and area (CACTI-style) models."""
+
+from repro.energy import area, model
+from repro.energy.area import area_breakdown, die_percentage, eed, total_area_mm2
+from repro.energy.model import DEFAULT_MODEL, EnergyModel, EnergyTable
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "EnergyModel",
+    "EnergyTable",
+    "area",
+    "area_breakdown",
+    "die_percentage",
+    "eed",
+    "model",
+    "total_area_mm2",
+]

@@ -1,0 +1,104 @@
+"""CACTI-style area model, Table IX breakdown, and the EED metric.
+
+Buffer areas follow a linear bytes→mm² model calibrated at 7 nm to the
+paper's CACTI-7 numbers (144 B → 0.0005 mm², 1 KB → 0.003 mm², 2 KB →
+0.007 mm²); logic areas are the synthesised constants of Table IX with
+the DPG-dependent parts scaled by the configured DPG count.  EED
+(Energy Efficiency Density, §VI-E) is speedup x energy-reduction per
+unit of area overhead, normalised to DS-STC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.config import UniSTCConfig
+from repro.errors import ConfigError
+
+#: A100 reference die (mm²) and the projected deployment (4/SM x 108 SMs).
+A100_DIE_MM2 = 826.0
+UNITS_PER_GPU = 432
+
+#: Calibrated linear SRAM model at 7 nm: mm² = base + slope * bytes.
+_SRAM_BASE_MM2 = 0.00005
+_SRAM_SLOPE_MM2_PER_BYTE = 3.2e-6
+#: Technology scaling exponent: area ~ (node / 7)^2.
+_REFERENCE_NODE_NM = 7.0
+
+#: Table IX logic constants (mm² at 7 nm, per Uni-STC unit, 8 DPGs).
+NETWORK_LOGIC_MM2 = 0.002
+TMS_LOGIC_MM2 = 0.004
+DPG_LOGIC_MM2_EACH = 0.001
+SDPU_EXTRA_ADDERS_MM2 = 0.018
+
+#: Dedicated-module area of the two STC baselines the EED metric uses.
+#: RM-STC is derived from the paper's "18% area overhead compared to
+#: RM-STC" for the default Uni-STC; DS-STC's simpler front-end sits a
+#: further ~17% below RM-STC (which spends 16.67% of its area on the
+#: hardware format decoder BBC eliminates).
+RM_STC_AREA_MM2 = 0.036
+DS_STC_AREA_MM2 = 0.030
+
+
+def sram_area_mm2(capacity_bytes: int, node_nm: float = 7.0) -> float:
+    """Area of an SRAM buffer of the given capacity at the given node."""
+    if capacity_bytes < 0:
+        raise ConfigError("buffer capacity must be non-negative")
+    scale = (node_nm / _REFERENCE_NODE_NM) ** 2
+    return (_SRAM_BASE_MM2 + _SRAM_SLOPE_MM2_PER_BYTE * capacity_bytes) * scale
+
+
+def area_breakdown(config: UniSTCConfig = UniSTCConfig()) -> Dict[str, float]:
+    """Per-module area (mm²) of one Uni-STC unit — Table IX rows.
+
+    The Benes/MUX networks and the DPG share of the TMS&DPG row scale
+    with the configured DPG count; the rest is fixed.
+    """
+    dpg_scale = config.num_dpgs / 8.0
+    return {
+        "Benes & MUX networks": NETWORK_LOGIC_MM2 * dpg_scale,
+        "TMS & DPG": TMS_LOGIC_MM2 + DPG_LOGIC_MM2_EACH * config.num_dpgs,
+        "Extra adders in SDPU": SDPU_EXTRA_ADDERS_MM2,
+        "Meta data buffer (144B)": sram_area_mm2(config.meta_buffer_bytes),
+        "Accumulate buffer (1KB)": sram_area_mm2(config.accumulator_buffer_bytes),
+        "Matrix A buffer (2KB)": sram_area_mm2(config.matrix_a_buffer_bytes),
+    }
+
+
+def total_area_mm2(config: UniSTCConfig = UniSTCConfig()) -> float:
+    """Total dedicated-module overhead of one Uni-STC unit (mm²)."""
+    return sum(area_breakdown(config).values())
+
+
+def die_percentage(config: UniSTCConfig = UniSTCConfig(), units: int = UNITS_PER_GPU) -> float:
+    """Percentage of the A100 die the deployment occupies (Table IX)."""
+    return 100.0 * total_area_mm2(config) * units / A100_DIE_MM2
+
+
+def stc_area_mm2(stc_name: str, config: UniSTCConfig = UniSTCConfig()) -> float:
+    """Dedicated-module area of any evaluated STC, for the EED ratio."""
+    if stc_name.startswith("uni-stc"):
+        return total_area_mm2(config)
+    if stc_name.startswith("rm-stc"):
+        return RM_STC_AREA_MM2
+    if stc_name.startswith("ds-stc"):
+        return DS_STC_AREA_MM2
+    raise ConfigError(f"no area model for {stc_name!r}")
+
+
+def eed(
+    speedup: float,
+    energy_reduction: float,
+    stc_name: str,
+    config: UniSTCConfig = UniSTCConfig(),
+    baseline: str = "ds-stc",
+) -> float:
+    """Energy Efficiency Density normalised to ``baseline`` (§VI-E).
+
+    ``speedup`` and ``energy_reduction`` must already be expressed
+    relative to the same baseline; area enters as the overhead ratio.
+    """
+    if speedup <= 0 or energy_reduction <= 0:
+        raise ConfigError("speedup and energy reduction must be positive")
+    area_ratio = stc_area_mm2(stc_name, config) / stc_area_mm2(baseline)
+    return speedup * energy_reduction / area_ratio

@@ -1,0 +1,161 @@
+"""Sparseloop-style energy model: action counts x energy-per-action.
+
+Every simulator emits :class:`~repro.arch.counters.Counters`; this
+module prices them.  Two ingredients:
+
+- a *base table* of per-action energies (buffer reads, MAC ops, queue
+  pushes, DPG scheduling overheads) shared by every architecture;
+- a per-architecture *network profile* pricing operand/output element
+  transfers by the sqrt-crosspoint rule of :mod:`repro.arch.network` —
+  monolithic 64x256 crossbars for the DS-STC/RM-STC-style designs,
+  Uni-STC's hierarchical two-layer network, and the dense tensor
+  core's fixed systolic delivery.
+
+Constants are stated in picojoules per action for an FP64 datapath at
+a 7 nm-class node.  As in the paper, only *relative* energy between
+designs on identical task streams carries meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.arch.counters import ACTIONS, Counters
+from repro.arch.network import (
+    MONOLITHIC_PATH,
+    UNI_A_PATH,
+    UNI_B_PATH,
+    UNI_C_PATH,
+    UNI_TILE_PATH,
+    NetworkPath,
+)
+
+#: Operand-delivery path of the dense tensor core: the register-file
+#: operand-collector crossbar feeding the 64-lane array (no gathering
+#: logic, but every element still crosses the collector).
+DENSE_PATH = NetworkPath(((64, 64),))
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Per-element transfer costs (pJ) of one architecture's datapaths."""
+
+    a_transfer_pj: float
+    b_transfer_pj: float
+    c_transfer_pj: float
+    tile_transfer_pj: float = 0.0
+
+    @classmethod
+    def from_paths(cls, a: NetworkPath, b: NetworkPath, c: NetworkPath,
+                   tile: Optional[NetworkPath] = None) -> "NetworkProfile":
+        return cls(
+            a_transfer_pj=a.transfer_pj(),
+            b_transfer_pj=b.transfer_pj(),
+            c_transfer_pj=c.transfer_pj(),
+            tile_transfer_pj=tile.transfer_pj() if tile else 0.0,
+        )
+
+
+#: Uni-STC's hierarchical network (§IV-C.2).
+UNI_PROFILE = NetworkProfile.from_paths(UNI_A_PATH, UNI_B_PATH, UNI_C_PATH, UNI_TILE_PATH)
+#: Monolithic 64x256 crossbars per operand (DS-STC / RM-STC style).
+MONOLITHIC_PROFILE = NetworkProfile.from_paths(MONOLITHIC_PATH, MONOLITHIC_PATH, MONOLITHIC_PATH)
+#: Dense tensor core: fixed, small staging networks.
+DENSE_PROFILE = NetworkProfile.from_paths(DENSE_PATH, DENSE_PATH, DENSE_PATH)
+
+
+def profile_for(stc_name: str) -> NetworkProfile:
+    """Network profile of an architecture, looked up by model name."""
+    if stc_name.startswith("uni-stc"):
+        return UNI_PROFILE
+    if stc_name.startswith("nv-dtc"):
+        return DENSE_PROFILE
+    return MONOLITHIC_PROFILE
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-action base energies in pJ (network transfers priced apart)."""
+
+    mac_op: float = 1.5            # one FP64 multiply-accumulate
+    lane_cycle: float = 0.01       # per-lane static/clocking overhead
+    elem_read: float = 0.8         # 8-byte operand read (buffer/registers)
+    elem_write: float = 1.0        # 8-byte result write (accumulator path)
+    broadcast_hop: float = 0.05    # one MUX-stage operand broadcast hop
+    meta_read: float = 0.3         # one 16-bit bitmap/metadata word
+    queue_op: float = 0.12         # tile-/dot-product-queue push or pop
+    dpg_active_cycle: float = 0.9  # one DPG powered for one cycle
+    dpg_gated_cycle: float = 0.05  # leakage of a power-gated DPG-cycle
+    accum_access: float = 0.4      # accumulator-buffer read-modify-write
+    sched_cycle: float = 0.5       # front-end scheduler (TMS etc.) cycle
+
+    def scaled(self, factor: float) -> "EnergyTable":
+        """Uniformly scaled table (e.g. for a different voltage point)."""
+        return replace(
+            self, **{f: getattr(self, f) * factor for f in self.__dataclass_fields__}
+        )
+
+
+DEFAULT_TABLE = EnergyTable()
+
+#: Fig. 18's three I/O categories plus the two non-I/O buckets.
+BREAKDOWN_KEYS = ("read_a", "read_b", "write_c", "schedule", "compute")
+
+
+class EnergyModel:
+    """Prices counters into pJ, with the Fig. 18 breakdown."""
+
+    def __init__(self, table: EnergyTable = DEFAULT_TABLE):
+        self.table = table
+
+    def breakdown(self, counters: Counters, stc_name: str) -> Dict[str, float]:
+        """Energy split into read-A / read-B / write-C / schedule / compute."""
+        t = self.table
+        net = profile_for(stc_name)
+        out = dict.fromkeys(BREAKDOWN_KEYS, 0.0)
+        for action, count in counters.items():
+            if action == "a_elem_reads":
+                out["read_a"] += count * t.elem_read
+            elif action == "a_net_transfers":
+                out["read_a"] += count * net.a_transfer_pj
+            elif action == "a_broadcasts":
+                out["read_a"] += count * t.broadcast_hop
+            elif action == "b_elem_reads":
+                out["read_b"] += count * t.elem_read
+            elif action == "b_net_transfers":
+                out["read_b"] += count * net.b_transfer_pj
+            elif action == "b_broadcasts":
+                out["read_b"] += count * t.broadcast_hop
+            elif action == "c_elem_writes":
+                out["write_c"] += count * t.elem_write
+            elif action == "c_net_transfers":
+                out["write_c"] += count * net.c_transfer_pj
+            elif action == "accum_accesses":
+                out["write_c"] += count * t.accum_access
+            elif action == "tile_fetches":
+                out["read_a"] += count * net.tile_transfer_pj
+            elif action == "meta_reads":
+                out["schedule"] += count * t.meta_read
+            elif action == "queue_ops":
+                out["schedule"] += count * t.queue_op
+            elif action == "dpg_active_cycles":
+                out["schedule"] += count * t.dpg_active_cycle
+            elif action == "dpg_gated_cycles":
+                out["schedule"] += count * t.dpg_gated_cycle
+            elif action == "sched_cycles":
+                out["schedule"] += count * t.sched_cycle
+            elif action == "mac_ops":
+                out["compute"] += count * t.mac_op
+            elif action == "lane_cycles":
+                out["compute"] += count * t.lane_cycle
+            else:  # pragma: no cover - ACTIONS is exhaustive
+                raise KeyError(f"unpriced action {action!r}")
+        return out
+
+    def energy_pj(self, counters: Counters, stc_name: str) -> float:
+        """Total energy of the counted activity in pJ."""
+        return sum(self.breakdown(counters, stc_name).values())
+
+
+DEFAULT_MODEL = EnergyModel()

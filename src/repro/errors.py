@@ -1,0 +1,25 @@
+"""Exception hierarchy shared by every repro subpackage."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FormatError(ReproError):
+    """A sparse-format container was constructed or used incorrectly."""
+
+
+class ShapeError(ReproError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class ConfigError(ReproError):
+    """An architecture or simulator configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its budget."""

@@ -1,0 +1,24 @@
+"""Sparse matrix containers: COO, CSR, BSR and the paper's BBC format."""
+
+from repro.formats import advisor, bitarray, encoding_cost, transpose
+from repro.formats.bbc import BLOCK, TILE, TILES_PER_BLOCK, TILES_PER_SIDE, BBCMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import INDEX_BYTES, VALUE_BYTES, CSRMatrix
+
+__all__ = [
+    "BLOCK",
+    "TILE",
+    "TILES_PER_BLOCK",
+    "TILES_PER_SIDE",
+    "BBCMatrix",
+    "BSRMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "INDEX_BYTES",
+    "VALUE_BYTES",
+    "advisor",
+    "bitarray",
+    "encoding_cost",
+    "transpose",
+]

@@ -1,0 +1,442 @@
+"""BBC (Bitmap-Bitmap-CSR) — the paper's unified sparse format (§IV-D).
+
+Layout (full-size, i.e. the 16x16-block version the hardware consumes;
+Fig. 13 of the paper shows an 8x8 downsized variant):
+
+- An outer CSR indexes nonzero **16x16 blocks**: ``row_ptr`` over block
+  rows and ``col_idx`` per stored block.
+- Each stored block carries a 16-bit **level-1 bitmap** marking which
+  of its sixteen **4x4 tiles** hold nonzeros (tile ``t = ti*4 + tj``,
+  row-major).
+- Each nonzero tile carries a 16-bit **level-2 bitmap** marking element
+  positions within the tile (element ``e = ei*4 + ej``, row-major).
+- ``val_ptr_lv1`` gives each block's base offset into the value array;
+  ``val_ptr_lv2`` gives each tile's offset within its block (<= 240, so
+  one byte suffices — the paper's "no more than 0.3%" overhead).
+- Values are stored block-major, then tile-major (row-major tile
+  order), then row-major within each tile.
+
+The two bitmaps are exactly what the TMS (level 1) and DPG (level 2)
+consume without any hardware decoding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.bitarray import popcount_array
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+#: Side of a BBC block (the T1 task dimension).
+BLOCK = 16
+#: Side of a tile within a block (the T3 task dimension).
+TILE = 4
+#: Tiles per block side.
+TILES_PER_SIDE = BLOCK // TILE
+#: Tiles per block.
+TILES_PER_BLOCK = TILES_PER_SIDE * TILES_PER_SIDE
+
+#: Byte widths used for exact storage accounting (Fig. 15).
+_PTR_BYTES = 4       # row_ptr / col_idx / val_ptr_lv1 entries
+_BITMAP_BYTES = 2    # 16-bit level-1 / level-2 bitmaps
+_LV2_PTR_BYTES = 1   # per-tile value offset (<= 240)
+
+
+class BBCMatrix:
+    """A sparse matrix stored in the BBC format."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        bitmap_lv1: np.ndarray,
+        tile_ptr: np.ndarray,
+        bitmap_lv2: np.ndarray,
+        val_ptr_lv1: np.ndarray,
+        val_ptr_lv2: np.ndarray,
+        values: np.ndarray,
+        *,
+        _skip_checks: bool = False,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        self.col_idx = np.asarray(col_idx, dtype=np.int64)
+        self.bitmap_lv1 = np.asarray(bitmap_lv1, dtype=np.uint16)
+        self.tile_ptr = np.asarray(tile_ptr, dtype=np.int64)
+        self.bitmap_lv2 = np.asarray(bitmap_lv2, dtype=np.uint16)
+        self.val_ptr_lv1 = np.asarray(val_ptr_lv1, dtype=np.int64)
+        self.val_ptr_lv2 = np.asarray(val_ptr_lv2, dtype=np.uint8)
+        self.values = np.asarray(values, dtype=np.float64)
+        if not _skip_checks:
+            self._validate()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "BBCMatrix":
+        """Encode a COO matrix into BBC (the one-time software encoding)."""
+        nrows, ncols = coo.shape
+        nbrows = max(1, -(-nrows // BLOCK))
+        nbcols = max(1, -(-ncols // BLOCK))
+
+        if coo.nnz == 0:
+            return cls(
+                coo.shape,
+                np.zeros(nbrows + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint16),
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.uint16),
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.uint8),
+                np.empty(0, dtype=np.float64),
+                _skip_checks=True,
+            )
+
+        brow, bcol = coo.rows // BLOCK, coo.cols // BLOCK
+        in_r, in_c = coo.rows % BLOCK, coo.cols % BLOCK
+        tile = (in_r // TILE) * TILES_PER_SIDE + (in_c // TILE)
+        elem = (in_r % TILE) * TILE + (in_c % TILE)
+
+        order = np.lexsort((elem, tile, bcol, brow))
+        brow, bcol, tile, elem = brow[order], bcol[order], tile[order], elem[order]
+        values = coo.vals[order]
+
+        block_key = brow * nbcols + bcol
+        new_block = np.ones(block_key.size, dtype=bool)
+        new_block[1:] = block_key[1:] != block_key[:-1]
+        block_of = np.cumsum(new_block) - 1
+        nblocks = int(block_of[-1]) + 1
+
+        first_idx = np.flatnonzero(new_block)
+        blk_row = brow[first_idx]
+        blk_col = bcol[first_idx]
+
+        row_counts = np.bincount(blk_row, minlength=nbrows)
+        row_ptr = np.zeros(nbrows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=row_ptr[1:])
+
+        # Level-1 bitmaps and per-tile grouping.
+        tile_key = block_of * TILES_PER_BLOCK + tile
+        new_tile = np.ones(tile_key.size, dtype=bool)
+        new_tile[1:] = tile_key[1:] != tile_key[:-1]
+        tile_of = np.cumsum(new_tile) - 1
+        ntiles = int(tile_of[-1]) + 1
+
+        tile_first = np.flatnonzero(new_tile)
+        tile_block = block_of[tile_first]
+        tile_id = tile[tile_first]
+
+        bitmap_lv1 = np.zeros(nblocks, dtype=np.uint16)
+        np.bitwise_or.at(bitmap_lv1, tile_block, (np.uint16(1) << tile_id.astype(np.uint16)))
+
+        tiles_per_block = np.bincount(tile_block, minlength=nblocks)
+        tile_ptr = np.zeros(nblocks + 1, dtype=np.int64)
+        np.cumsum(tiles_per_block, out=tile_ptr[1:])
+
+        bitmap_lv2 = np.zeros(ntiles, dtype=np.uint16)
+        np.bitwise_or.at(bitmap_lv2, tile_of, (np.uint16(1) << elem.astype(np.uint16)))
+
+        nnz_per_block = np.bincount(block_of, minlength=nblocks)
+        val_ptr_lv1 = np.zeros(nblocks + 1, dtype=np.int64)
+        np.cumsum(nnz_per_block, out=val_ptr_lv1[1:])
+
+        nnz_per_tile = np.bincount(tile_of, minlength=ntiles)
+        tile_val_start = np.concatenate(([0], np.cumsum(nnz_per_tile)))[:-1]
+        val_ptr_lv2 = (tile_val_start - val_ptr_lv1[tile_block]).astype(np.uint8)
+
+        return cls(
+            coo.shape,
+            row_ptr,
+            blk_col,
+            bitmap_lv1,
+            tile_ptr,
+            bitmap_lv2,
+            val_ptr_lv1,
+            val_ptr_lv2,
+            values,
+            _skip_checks=True,
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "BBCMatrix":
+        """Encode a CSR matrix into BBC."""
+        return cls.from_coo(csr.to_coo())
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BBCMatrix":
+        """Encode a dense array into BBC, dropping zeros."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # -- validation -------------------------------------------------------
+
+    def _validate(self) -> None:
+        nbrows = max(1, -(-self.shape[0] // BLOCK))
+        if self.row_ptr.size != nbrows + 1:
+            raise FormatError("row_ptr length must be #block-rows + 1")
+        if self.row_ptr[-1] != self.col_idx.size:
+            raise FormatError("row_ptr must end at the block count")
+        if self.bitmap_lv1.size != self.col_idx.size:
+            raise FormatError("one level-1 bitmap per stored block required")
+        if self.tile_ptr.size != self.col_idx.size + 1:
+            raise FormatError("tile_ptr length must be #blocks + 1")
+        expected_tiles = int(popcount_array(self.bitmap_lv1).sum())
+        if self.bitmap_lv2.size != expected_tiles:
+            raise FormatError("one level-2 bitmap per nonzero tile required")
+        if self.val_ptr_lv1.size != self.col_idx.size + 1:
+            raise FormatError("val_ptr_lv1 length must be #blocks + 1")
+        if self.val_ptr_lv1[-1] != self.values.size:
+            raise FormatError("val_ptr_lv1 must end at nnz")
+        expected_nnz = int(popcount_array(self.bitmap_lv2).sum())
+        if self.values.size != expected_nnz:
+            raise FormatError("value count must match level-2 bitmap popcounts")
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzero elements."""
+        return int(self.values.size)
+
+    @property
+    def nblocks(self) -> int:
+        """Number of stored nonzero 16x16 blocks."""
+        return int(self.col_idx.size)
+
+    @property
+    def ntiles(self) -> int:
+        """Number of stored nonzero 4x4 tiles."""
+        return int(self.bitmap_lv2.size)
+
+    @property
+    def block_rows(self) -> int:
+        """Number of block rows (padded)."""
+        return self.row_ptr.size - 1
+
+    @property
+    def block_cols(self) -> int:
+        """Number of block columns (padded)."""
+        return max(1, -(-self.shape[1] // BLOCK))
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Nonzeros stored in each block (the NnzPB axis of Fig. 15)."""
+        return np.diff(self.val_ptr_lv1)
+
+    def block_row(self, brow: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(block_cols, block_indices)`` of block row ``brow``."""
+        lo, hi = self.row_ptr[brow], self.row_ptr[brow + 1]
+        return self.col_idx[lo:hi], np.arange(lo, hi)
+
+    def find_block(self, brow: int, bcol: int) -> Optional[int]:
+        """Index of the stored block at (brow, bcol), or None if empty."""
+        lo, hi = self.row_ptr[brow], self.row_ptr[brow + 1]
+        pos = lo + np.searchsorted(self.col_idx[lo:hi], bcol)
+        if pos < hi and self.col_idx[pos] == bcol:
+            return int(pos)
+        return None
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(block_row, block_col, block_index)`` for every block."""
+        for brow in range(self.block_rows):
+            for pos in range(self.row_ptr[brow], self.row_ptr[brow + 1]):
+                yield brow, int(self.col_idx[pos]), pos
+
+    # -- per-block materialisation ---------------------------------------
+
+    def tile_ids(self) -> np.ndarray:
+        """Tile-grid position (0..15) of every stored tile, block-major.
+
+        Derived from the level-1 bitmaps (stored tiles appear in
+        ascending bit order); cached after the first call.
+        """
+        cached = getattr(self, "_tile_ids_cache", None)
+        if cached is not None:
+            return cached
+        ids = np.empty(self.ntiles, dtype=np.uint8)
+        out = 0
+        for lv1 in self.bitmap_lv1:
+            bits = int(lv1)
+            t = 0
+            while bits:
+                if bits & 1:
+                    ids[out] = t
+                    out += 1
+                bits >>= 1
+                t += 1
+        self._tile_ids_cache = ids
+        return ids
+
+    def block_bitmaps_all(self) -> np.ndarray:
+        """All block occupancies as one (nblocks, 16, 16) boolean array.
+
+        Vectorised over stored tiles and cached; this is the fast path
+        the simulation engine uses to enumerate T1 tasks.
+        """
+        cached = getattr(self, "_block_bitmaps_cache", None)
+        if cached is not None:
+            return cached
+        grids = np.zeros((self.nblocks, BLOCK, BLOCK), dtype=bool)
+        if self.ntiles:
+            tile_id = self.tile_ids().astype(np.int64)
+            tile_block = np.repeat(
+                np.arange(self.nblocks, dtype=np.int64), np.diff(self.tile_ptr)
+            )
+            # Element occupancy of every tile: (ntiles, 16) boolean.
+            elem_bits = (
+                (self.bitmap_lv2[:, None].astype(np.uint32) >> np.arange(16, dtype=np.uint32)) & 1
+            ).astype(bool)
+            ti, tj = tile_id // TILES_PER_SIDE, tile_id % TILES_PER_SIDE
+            ei, ej = (
+                np.arange(16, dtype=np.int64) // TILE,
+                np.arange(16, dtype=np.int64) % TILE,
+            )
+            rows = ti[:, None] * TILE + ei[None, :]
+            cols = tj[:, None] * TILE + ej[None, :]
+            blocks = np.broadcast_to(tile_block[:, None], rows.shape)
+            sel = elem_bits
+            grids[blocks[sel], rows[sel], cols[sel]] = True
+        self._block_bitmaps_cache = grids
+        return grids
+
+    def block_bitmap(self, block_index: int) -> np.ndarray:
+        """16x16 boolean occupancy of a stored block (what the STCs consume)."""
+        grid = np.zeros((BLOCK, BLOCK), dtype=bool)
+        lv1 = int(self.bitmap_lv1[block_index])
+        t_lo = self.tile_ptr[block_index]
+        slot = 0
+        for t in range(TILES_PER_BLOCK):
+            if not lv1 & (1 << t):
+                continue
+            ti, tj = divmod(t, TILES_PER_SIDE)
+            lv2 = int(self.bitmap_lv2[t_lo + slot])
+            slot += 1
+            for e in range(TILE * TILE):
+                if lv2 & (1 << e):
+                    ei, ej = divmod(e, TILE)
+                    grid[ti * TILE + ei, tj * TILE + ej] = True
+        return grid
+
+    def block_dense(self, block_index: int) -> np.ndarray:
+        """16x16 dense values of a stored block."""
+        grid = np.zeros((BLOCK, BLOCK), dtype=np.float64)
+        lv1 = int(self.bitmap_lv1[block_index])
+        t_lo = self.tile_ptr[block_index]
+        v_base = self.val_ptr_lv1[block_index]
+        slot = 0
+        for t in range(TILES_PER_BLOCK):
+            if not lv1 & (1 << t):
+                continue
+            ti, tj = divmod(t, TILES_PER_SIDE)
+            lv2 = int(self.bitmap_lv2[t_lo + slot])
+            v = v_base + int(self.val_ptr_lv2[t_lo + slot])
+            slot += 1
+            for e in range(TILE * TILE):
+                if lv2 & (1 << e):
+                    ei, ej = divmod(e, TILE)
+                    grid[ti * TILE + ei, tj * TILE + ej] = self.values[v]
+                    v += 1
+        return grid
+
+    def tile_bitmaps(self, block_index: int) -> np.ndarray:
+        """The block's sixteen level-2 bitmaps as a 4x4 uint16 grid.
+
+        Empty tiles hold bitmap 0.  Row ``ti``, column ``tj`` of the
+        result is the tile at that grid position — the exact operand the
+        DPG's bottom-level outer product consumes.
+        """
+        grid = np.zeros((TILES_PER_SIDE, TILES_PER_SIDE), dtype=np.uint16)
+        lv1 = int(self.bitmap_lv1[block_index])
+        t_lo = self.tile_ptr[block_index]
+        slot = 0
+        for t in range(TILES_PER_BLOCK):
+            if not lv1 & (1 << t):
+                continue
+            ti, tj = divmod(t, TILES_PER_SIDE)
+            grid[ti, tj] = self.bitmap_lv2[t_lo + slot]
+            slot += 1
+        return grid
+
+    # -- conversions --------------------------------------------------------
+
+    def to_coo(self) -> COOMatrix:
+        """Decode back to COO."""
+        rows, cols, vals = [], [], []
+        for brow, bcol, idx in self.iter_blocks():
+            dense = self.block_dense(idx)
+            local_r, local_c = np.nonzero(dense)
+            rows.append(brow * BLOCK + local_r)
+            cols.append(bcol * BLOCK + local_c)
+            vals.append(dense[local_r, local_c])
+        if not rows:
+            return COOMatrix(self.shape, [], [], [])
+        return COOMatrix(self.shape, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals))
+
+    def to_csr(self) -> CSRMatrix:
+        """Decode back to CSR."""
+        return CSRMatrix.from_coo(self.to_coo())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (original, unpadded shape)."""
+        return self.to_coo().to_dense()
+
+    # -- storage accounting (Fig. 15) -------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Exact bytes of the BBC encoding."""
+        ptr_entries = self.row_ptr.size + self.col_idx.size + self.val_ptr_lv1.size
+        bitmap_entries = self.bitmap_lv1.size + self.bitmap_lv2.size
+        return (
+            ptr_entries * _PTR_BYTES
+            + bitmap_entries * _BITMAP_BYTES
+            + self.val_ptr_lv2.size * _LV2_PTR_BYTES
+            + self.values.size * 8
+        )
+
+    def metadata_bytes(self) -> int:
+        """Bytes beyond the raw nonzero values."""
+        return self.storage_bytes() - self.nnz * 8
+
+    # -- file I/O (§IV-D: save/reload frequently used matrices) -----------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the encoded matrix so re-encoding cost is paid once."""
+        np.savez_compressed(
+            str(path),
+            shape=np.asarray(self.shape, dtype=np.int64),
+            row_ptr=self.row_ptr,
+            col_idx=self.col_idx,
+            bitmap_lv1=self.bitmap_lv1,
+            tile_ptr=self.tile_ptr,
+            bitmap_lv2=self.bitmap_lv2,
+            val_ptr_lv1=self.val_ptr_lv1,
+            val_ptr_lv2=self.val_ptr_lv2,
+            values=self.values,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BBCMatrix":
+        """Load a matrix previously written by :meth:`save`."""
+        path = Path(str(path))
+        if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+            path = path.with_suffix(path.suffix + ".npz")
+        with np.load(path) as data:
+            return cls(
+                tuple(int(x) for x in data["shape"]),
+                data["row_ptr"],
+                data["col_idx"],
+                data["bitmap_lv1"],
+                data["tile_ptr"],
+                data["bitmap_lv2"],
+                data["val_ptr_lv1"],
+                data["val_ptr_lv2"],
+                data["values"],
+            )
+
+    def __repr__(self) -> str:
+        return f"BBCMatrix(shape={self.shape}, nnz={self.nnz}, nblocks={self.nblocks})"

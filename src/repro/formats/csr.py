@@ -1,0 +1,162 @@
+"""Compressed Sparse Row (CSR) container built from scratch.
+
+This is the package's workhorse container: the reference kernels, the
+AMG solver and the workload generators all operate on it.  Numeric
+kernels live in :mod:`repro.kernels.reference`; this module provides
+the structure, conversions and exact storage accounting (used by the
+Fig. 15 format study).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.coo import COOMatrix
+
+#: Bytes of one column index / row pointer entry (int32, as in cuSPARSE).
+INDEX_BYTES = 4
+#: Bytes of one FP64 value.
+VALUE_BYTES = 8
+
+
+class CSRMatrix:
+    """A CSR sparse matrix with sorted column indices per row."""
+
+    def __init__(self, shape: Tuple[int, int], indptr, indices, data, *, _skip_checks: bool = False):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if not _skip_checks:
+            self._validate()
+
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.size != nrows + 1:
+            raise FormatError(f"indptr has {self.indptr.size} entries, expected {nrows + 1}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise FormatError("indices and data must have identical length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= ncols):
+            raise FormatError("column index out of bounds")
+        for i in range(nrows):
+            row = self.indices[self.indptr[i] : self.indptr[i + 1]]
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                raise FormatError(f"row {i} has unsorted or duplicate column indices")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.size)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert a canonical COO matrix (sorted, deduplicated) to CSR."""
+        nrows = coo.shape[0]
+        counts = np.bincount(coo.rows, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(coo.shape, indptr, coo.cols.copy(), coo.vals.copy(), _skip_checks=True)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build a CSR matrix from a dense 2-D array, dropping zeros."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(shape, np.zeros(shape[0] + 1, dtype=np.int64), [], [], _skip_checks=True)
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n x n identity matrix."""
+        return cls((n, n), np.arange(n + 1), np.arange(n), np.ones(n), _skip_checks=True)
+
+    @classmethod
+    def from_diagonal(cls, diag: np.ndarray) -> "CSRMatrix":
+        """A square matrix with ``diag`` on the main diagonal."""
+        diag = np.asarray(diag, dtype=np.float64)
+        n = diag.size
+        return cls((n, n), np.arange(n + 1), np.arange(n), diag.copy(), _skip_checks=True)
+
+    def to_coo(self) -> COOMatrix:
+        """Convert back to COO (entries already canonical)."""
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy(), _skip_checks=True)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D float64 array."""
+        return self.to_coo().to_dense()
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(column_indices, values)`` of row ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of bounds for shape {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row nonzero counts."""
+        return np.diff(self.indptr)
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal values (zeros where no entry is stored)."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            cols, vals = self.row(i)
+            hit = np.searchsorted(cols, i)
+            if hit < cols.size and cols[hit] == i:
+                diag[i] = vals[hit]
+        return diag
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transposed matrix (a fresh CSR)."""
+        return CSRMatrix.from_coo(self.to_coo().transpose())
+
+    def scaled(self, factor: float) -> "CSRMatrix":
+        """Return a copy with every value multiplied by ``factor``."""
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), self.data * factor, _skip_checks=True)
+
+    def with_data(self, data: np.ndarray) -> "CSRMatrix":
+        """Return a copy sharing this structure but holding ``data``."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.size != self.nnz:
+            raise FormatError("replacement data length must equal nnz")
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), data.copy(), _skip_checks=True)
+
+    def prune(self, tolerance: float = 0.0) -> "CSRMatrix":
+        """Drop entries with ``abs(value) <= tolerance``."""
+        keep = np.abs(self.data) > tolerance
+        coo = self.to_coo()
+        return CSRMatrix.from_coo(
+            COOMatrix(self.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], _skip_checks=True)
+        )
+
+    # -- storage accounting (Fig. 15) -----------------------------------
+
+    def storage_bytes(self) -> int:
+        """Exact bytes of the CSR representation (int32 indices, FP64 values)."""
+        return (self.indptr.size + self.indices.size) * INDEX_BYTES + self.data.size * VALUE_BYTES
+
+    def metadata_bytes(self) -> int:
+        """Bytes of everything except the nonzero values themselves."""
+        return self.storage_bytes() - self.nnz * VALUE_BYTES
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return self.to_coo() == other.to_coo()
+
+    def __hash__(self) -> int:  # pragma: no cover - matrices are not dict keys
+        raise TypeError("CSRMatrix is not hashable")
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,18 @@
+"""Sparse kernels: golden CSR references, BBC block kernels, task streams."""
+
+from repro.kernels import bbc_kernels, reference, taskstream
+from repro.kernels.taskstream import kernel_tasks
+from repro.kernels.vector import SparseVector, dense_segment_mask
+
+#: The four kernels of the paper, in its canonical order.
+KERNELS = ("spmv", "spmspv", "spmm", "spgemm")
+
+__all__ = [
+    "KERNELS",
+    "SparseVector",
+    "bbc_kernels",
+    "dense_segment_mask",
+    "kernel_tasks",
+    "reference",
+    "taskstream",
+]

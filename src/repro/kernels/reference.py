@@ -1,0 +1,111 @@
+"""Golden reference kernels over the from-scratch CSR container.
+
+These are the correctness oracles for the BBC block kernels and the
+numerical substrate of the AMG/BFS/GNN applications.  SpGEMM uses
+Gustavson's row-by-row algorithm with a dense accumulator row — the
+classic formulation every evaluated dataflow (GAMMA, RM-STC, Uni-STC's
+software layer) derives from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.vector import SparseVector
+
+
+def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """y = A @ x for a dense vector x."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (a.shape[1],):
+        raise ShapeError(f"x has shape {x.shape}, expected ({a.shape[1]},)")
+    y = np.zeros(a.shape[0], dtype=np.float64)
+    for i in range(a.shape[0]):
+        cols, vals = a.row(i)
+        if cols.size:
+            y[i] = float(vals @ x[cols])
+    return y
+
+
+def spmspv(a: CSRMatrix, x: SparseVector) -> SparseVector:
+    """y = A @ x for a sparse vector x, returning a sparse y.
+
+    Column-wise formulation: only the columns of A selected by x's
+    nonzeros contribute, which is what makes SpMSpV cheaper than SpMV
+    on sparse frontiers (the BFS use case of Table II).
+    """
+    if x.n != a.shape[1]:
+        raise ShapeError(f"x has length {x.n}, expected {a.shape[1]}")
+    if x.nnz == 0:
+        return SparseVector(a.shape[0], [], [])
+    # Gather via the transpose so we touch only the selected columns.
+    at = a.transpose()
+    y = np.zeros(a.shape[0], dtype=np.float64)
+    for col, xv in zip(x.indices, x.values):
+        rows, vals = at.row(int(col))
+        y[rows] += vals * xv
+    return SparseVector.from_dense(y)
+
+
+def spmm(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """C = A @ B for a dense matrix B (paper: N = 64 columns)."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2 or b.shape[0] != a.shape[1]:
+        raise ShapeError(f"B has shape {b.shape}, expected ({a.shape[1]}, *)")
+    c = np.zeros((a.shape[0], b.shape[1]), dtype=np.float64)
+    for i in range(a.shape[0]):
+        cols, vals = a.row(i)
+        if cols.size:
+            c[i] = vals @ b[cols]
+    return c
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """C = A @ B by Gustavson's algorithm (row-row dataflow)."""
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    nrows, ncols = a.shape[0], b.shape[1]
+    out_rows, out_cols, out_vals = [], [], []
+    accumulator = np.zeros(ncols, dtype=np.float64)
+    for i in range(nrows):
+        a_cols, a_vals = a.row(i)
+        touched = []
+        for k, av in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(k))
+            for j, bv in zip(b_cols, b_vals):
+                if accumulator[j] == 0.0:
+                    touched.append(j)
+                accumulator[j] += av * bv
+        if touched:
+            touched_arr = np.sort(np.asarray(touched, dtype=np.int64))
+            vals = accumulator[touched_arr]
+            keep = vals != 0.0
+            out_rows.append(np.full(int(keep.sum()), i, dtype=np.int64))
+            out_cols.append(touched_arr[keep])
+            out_vals.append(vals[keep])
+            accumulator[touched_arr] = 0.0
+    if out_rows:
+        coo = COOMatrix(
+            (nrows, ncols),
+            np.concatenate(out_rows),
+            np.concatenate(out_cols),
+            np.concatenate(out_vals),
+            _skip_checks=True,
+        )
+    else:
+        coo = COOMatrix((nrows, ncols), [], [], [])
+    return CSRMatrix.from_coo(coo)
+
+
+def add(a: CSRMatrix, b: CSRMatrix, alpha: float = 1.0, beta: float = 1.0) -> CSRMatrix:
+    """C = alpha*A + beta*B with matching shapes."""
+    if a.shape != b.shape:
+        raise ShapeError(f"shapes differ: {a.shape} vs {b.shape}")
+    ca, cb = a.to_coo(), b.to_coo()
+    rows = np.concatenate([ca.rows, cb.rows])
+    cols = np.concatenate([ca.cols, cb.cols])
+    vals = np.concatenate([ca.vals * alpha, cb.vals * beta])
+    return CSRMatrix.from_coo(COOMatrix(a.shape, rows, cols, vals))

@@ -1,0 +1,109 @@
+"""T1 task-stream enumeration for the four sparse kernels.
+
+Every simulator in this package consumes the *same* stream of T1 tasks
+(16x16x16 block multiplies described by occupancy bitmaps).  These
+generators implement the kernel dataflows of §V-A:
+
+- SpMV / SpMSpV (Algorithm 1): one task per nonzero A block whose
+  x-segment is live; B operand is a 16x1 mask.
+- SpMM (Algorithm 2, dense B): each nonzero A block meets every 16-wide
+  column panel of B; identical panels are collapsed into one weighted
+  task.
+- SpGEMM (Algorithm 2): row-by-row outer product — each A block (I, K)
+  meets every stored B block in block row K.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.arch.tasks import T1Task
+from repro.errors import ShapeError
+from repro.formats.bbc import BLOCK, BBCMatrix
+from repro.kernels.vector import SparseVector, dense_segment_mask
+
+
+def spmv_tasks(a: BBCMatrix) -> Iterator[T1Task]:
+    """Task stream of y = A @ x with dense x."""
+    bitmaps = a.block_bitmaps_all()
+    n = a.shape[1]
+    for _, bcol, idx in a.iter_blocks():
+        mask = dense_segment_mask(n, bcol, BLOCK)
+        if not mask.any():
+            continue
+        yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+
+
+def spmspv_tasks(a: BBCMatrix, x: SparseVector) -> Iterator[T1Task]:
+    """Task stream of y = A @ x with sparse x; dead segments are skipped."""
+    if x.n != a.shape[1]:
+        raise ShapeError(f"x has length {x.n}, expected {a.shape[1]}")
+    bitmaps = a.block_bitmaps_all()
+    masks = {int(s): x.segment_mask(int(s), BLOCK) for s in x.nonempty_segments(BLOCK)}
+    for _, bcol, idx in a.iter_blocks():
+        mask = masks.get(bcol)
+        if mask is None:
+            continue
+        yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+
+
+def spmm_tasks(a: BBCMatrix, b_cols: int = 64) -> Iterator[T1Task]:
+    """Task stream of C = A @ B with dense B of ``b_cols`` columns.
+
+    Every column panel of B is dense and identical in structure, so one
+    weighted task per A block stands for all ``ceil(b_cols/16)`` panels
+    (the trailing partial panel, if any, gets its own task).
+    """
+    if b_cols <= 0:
+        raise ShapeError("B must have at least one column")
+    bitmaps = a.block_bitmaps_all()
+    full_panels, tail = divmod(b_cols, BLOCK)
+    full_mask = np.ones((BLOCK, BLOCK), dtype=bool)
+    tail_mask = np.zeros((BLOCK, BLOCK), dtype=bool)
+    tail_mask[:, :tail] = True
+    for _, _, idx in a.iter_blocks():
+        if full_panels:
+            yield T1Task.from_bitmaps(bitmaps[idx], full_mask, weight=full_panels)
+        if tail:
+            yield T1Task.from_bitmaps(bitmaps[idx], tail_mask)
+
+
+def spgemm_tasks(a: BBCMatrix, b: BBCMatrix) -> Iterator[T1Task]:
+    """Task stream of C = A @ B with both operands sparse."""
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    a_bitmaps = a.block_bitmaps_all()
+    b_bitmaps = b.block_bitmaps_all()
+    for brow in range(a.block_rows):
+        a_cols, a_idx = a.block_row(brow)
+        for bcol_a, idx_a in zip(a_cols, a_idx):
+            if bcol_a >= b.block_rows:
+                continue
+            a_bits = a_bitmaps[idx_a]
+            _, b_idx = b.block_row(int(bcol_a))
+            for idx_b in b_idx:
+                yield T1Task.from_bitmaps(a_bits, b_bitmaps[idx_b])
+
+
+def kernel_tasks(kernel: str, a: BBCMatrix, **operands) -> Iterator[T1Task]:
+    """Dispatch to the task generator for ``kernel`` by name.
+
+    ``kernel`` is one of ``spmv``, ``spmspv`` (needs ``x``), ``spmm``
+    (optional ``b_cols``, default 64) or ``spgemm`` (optional ``b``,
+    default A itself, i.e. the paper's C = A^2 setting).
+    """
+    name = kernel.lower()
+    if name == "spmv":
+        return spmv_tasks(a)
+    if name == "spmspv":
+        x = operands.get("x")
+        if x is None:
+            raise ShapeError("spmspv requires a sparse vector operand 'x'")
+        return spmspv_tasks(a, x)
+    if name == "spmm":
+        return spmm_tasks(a, operands.get("b_cols", 64))
+    if name == "spgemm":
+        return spgemm_tasks(a, operands.get("b", a))
+    raise ShapeError(f"unknown kernel {kernel!r}")

@@ -1,0 +1,29 @@
+"""Kernel-level simulation: engine, memoisation, reports, multi-core."""
+
+from repro.sim import cachestore, engine, memory, parallel, results, sweep
+from repro.sim.engine import cache_size, clear_cache, simulate_kernel, simulate_tasks
+from repro.sim.memory import MemoryConfig, RooflineReport, roofline
+from repro.sim.parallel import ParallelReport, simulate_parallel
+from repro.sim.results import ComparisonRow, SimReport, compare, geomean
+
+__all__ = [
+    "ComparisonRow",
+    "MemoryConfig",
+    "ParallelReport",
+    "RooflineReport",
+    "SimReport",
+    "cache_size",
+    "cachestore",
+    "clear_cache",
+    "compare",
+    "engine",
+    "geomean",
+    "memory",
+    "parallel",
+    "results",
+    "roofline",
+    "simulate_kernel",
+    "simulate_parallel",
+    "simulate_tasks",
+    "sweep",
+]

@@ -1,0 +1,88 @@
+"""Disk persistence for the block-result memoisation cache.
+
+Corpus sweeps spend most of their time in ``simulate_block``; since a
+model is a pure function of the task's bitmap pair, results are safe
+to persist across processes.  ``save_cache``/``load_cache`` serialise
+the engine's cache to a compressed ``.npz`` so a repeated sweep (or a
+resumed one) starts warm.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.arch.base import BlockResult
+from repro.arch.counters import ACTIONS, Counters
+from repro.arch.tasks import UtilHistogram
+from repro.errors import FormatError
+from repro.sim import engine
+
+#: Serialisation format version; mismatches are rejected on load.
+CACHE_VERSION = 1
+
+
+def save_cache(path: Union[str, Path]) -> int:
+    """Persist the engine's current block cache; returns entries written."""
+    entries = list(engine._BLOCK_CACHE.items())
+    keys = []
+    scalars = np.zeros((len(entries), 2), dtype=np.int64)
+    bins = np.zeros((len(entries), 4), dtype=np.int64)
+    counter_matrix = np.zeros((len(entries), len(ACTIONS)), dtype=np.float64)
+    for i, ((namespace, a_bits, b_bits), result) in enumerate(entries):
+        keys.append((namespace, a_bits, b_bits))
+        scalars[i] = (result.cycles, result.products)
+        bins[i] = result.util_hist.bins
+        for j, action in enumerate(ACTIONS):
+            counter_matrix[i, j] = result.counters.get(action)
+    np.savez_compressed(
+        str(path),
+        version=np.asarray([CACHE_VERSION]),
+        namespaces=np.asarray([k[0] for k in keys], dtype=object),
+        a_bits=np.asarray([k[1] for k in keys], dtype=object),
+        b_bits=np.asarray([k[2] for k in keys], dtype=object),
+        scalars=scalars,
+        bins=bins,
+        counters=counter_matrix,
+        actions=np.asarray(ACTIONS, dtype=object),
+    )
+    return len(entries)
+
+
+def load_cache(path: Union[str, Path], merge: bool = True) -> int:
+    """Load a persisted cache into the engine; returns entries loaded.
+
+    ``merge=False`` clears the in-memory cache first.  Entries whose
+    action vocabulary no longer matches the running build are rejected
+    (the energy table would silently misprice them otherwise).
+    """
+    path = Path(str(path))
+    with np.load(path, allow_pickle=True) as data:
+        if int(data["version"][0]) != CACHE_VERSION:
+            raise FormatError("cache file version mismatch")
+        actions = tuple(data["actions"])
+        if actions != ACTIONS:
+            raise FormatError("cache action vocabulary differs from this build")
+        if not merge:
+            engine.clear_cache()
+        count = 0
+        for i in range(len(data["namespaces"])):
+            key = (
+                str(data["namespaces"][i]),
+                bytes(data["a_bits"][i]),
+                bytes(data["b_bits"][i]),
+            )
+            hist = UtilHistogram(bins=data["bins"][i].copy())
+            counters = Counters()
+            for j, action in enumerate(ACTIONS):
+                counters.add(action, float(data["counters"][i, j]))
+            engine._BLOCK_CACHE[key] = BlockResult(
+                cycles=int(data["scalars"][i, 0]),
+                products=int(data["scalars"][i, 1]),
+                util_hist=hist,
+                counters=counters,
+            )
+            count += 1
+    return count

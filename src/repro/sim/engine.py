@@ -1,0 +1,83 @@
+"""The kernel-level simulation engine.
+
+``simulate_kernel`` enumerates a kernel's T1 task stream over BBC
+operands, runs every task on the chosen STC model, and aggregates
+cycles / utilisation / counters / energy into a
+:class:`~repro.sim.results.SimReport`.
+
+Because STC models are pure functions of a task's bitmap pair, per-
+block results are memoised in a process-wide cache keyed by
+``(model.cache_key(), a_bits, b_bits)`` — the same tile patterns repeat
+heavily across a matrix and across a corpus, which is what makes
+corpus-scale sweeps tractable in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.arch.base import BlockResult, STCModel
+from repro.arch.tasks import T1Task
+from repro.energy.model import DEFAULT_MODEL, EnergyModel
+from repro.formats.bbc import BBCMatrix
+from repro.kernels.taskstream import kernel_tasks
+from repro.sim.results import SimReport
+
+_BLOCK_CACHE: Dict[Tuple[str, bytes, bytes], BlockResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised per-block results (mainly for tests)."""
+    _BLOCK_CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of memoised (model, block-pair) entries."""
+    return len(_BLOCK_CACHE)
+
+
+def simulate_tasks(
+    stc: STCModel,
+    tasks: Iterable[T1Task],
+    kernel: str = "custom",
+    energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
+    matrix: Optional[str] = None,
+) -> SimReport:
+    """Run an explicit T1 task stream on one STC model."""
+    report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
+    namespace = stc.cache_key()
+    for task in tasks:
+        key = (namespace,) + task.cache_key()
+        result = _BLOCK_CACHE.get(key)
+        if result is None:
+            result = stc.simulate_block(task)
+            _BLOCK_CACHE[key] = result
+        weight = task.weight
+        report.cycles += result.cycles * weight
+        report.products += result.products * weight
+        report.t1_tasks += weight
+        report.util_hist.merge(result.util_hist, weight)
+        report.counters.merge(result.counters, weight)
+    if energy_model is not None:
+        report.energy_breakdown = energy_model.breakdown(report.counters, stc.name)
+        report.energy_pj = sum(report.energy_breakdown.values())
+    return report
+
+
+def simulate_kernel(
+    kernel: str,
+    a: BBCMatrix,
+    stc: STCModel,
+    energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
+    matrix: Optional[str] = None,
+    **operands,
+) -> SimReport:
+    """Simulate one of the four sparse kernels on BBC operand(s).
+
+    ``operands`` forward to the kernel's task generator: ``x`` (a
+    :class:`~repro.kernels.vector.SparseVector`) for SpMSpV, ``b_cols``
+    for SpMM (default 64, the paper's setting), ``b`` (a second
+    :class:`BBCMatrix`) for SpGEMM (default A, i.e. C = A^2).
+    """
+    tasks = kernel_tasks(kernel, a, **operands)
+    return simulate_tasks(stc, tasks, kernel=kernel, energy_model=energy_model, matrix=matrix)

@@ -1,0 +1,194 @@
+"""Multi-core scaling: static warp-level load balancing (§V-A).
+
+The paper deploys 4 Uni-STCs per SM x 108 SMs and distributes work
+with the `warpRow`/`warpIndex`/`warpRowId` arrays — a *static* balance
+that assigns each warp a contiguous range of block rows with roughly
+equal work.  This module implements that partitioner over BBC block
+rows and simulates a kernel across ``n_cores`` independent STC
+instances: wall-clock cycles are the slowest core's (the parallel
+completion rule), energy is the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.arch.base import STCModel
+from repro.arch.tasks import T1Task
+from repro.energy.model import DEFAULT_MODEL, EnergyModel
+from repro.errors import SimulationError
+from repro.formats.bbc import BLOCK, BBCMatrix
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_tasks
+from repro.sim.results import SimReport
+
+
+def block_row_work(a: BBCMatrix, kernel: str, b: Optional[BBCMatrix] = None) -> np.ndarray:
+    """Static per-block-row work estimate the partitioner balances on.
+
+    SpMV/SpMSpV/SpMM work scales with a block row's stored nonzeros;
+    SpGEMM work with the number of (A-block, B-block) pairs its blocks
+    spawn — exactly what the `warpIndex` prefix arrays encode.
+    """
+    work = np.zeros(a.block_rows, dtype=np.int64)
+    if kernel == "spgemm":
+        other = b or a
+        b_row_blocks = np.diff(other.row_ptr)
+        for brow in range(a.block_rows):
+            cols, _ = a.block_row(brow)
+            valid = cols[cols < other.block_rows]
+            work[brow] = int(b_row_blocks[valid].sum()) if valid.size else 0
+    else:
+        nnz_per_block = a.nnz_per_block()
+        for brow in range(a.block_rows):
+            _, idx = a.block_row(brow)
+            work[brow] = int(nnz_per_block[idx].sum())
+    return work
+
+
+def partition_block_rows(work: np.ndarray, n_parts: int) -> List[range]:
+    """Contiguous prefix-sum partition into ``n_parts`` balanced ranges.
+
+    Greedy cut at each multiple of total/n_parts — the classic static
+    scheme behind `warpIndex`.  Empty trailing parts get empty ranges.
+    """
+    if n_parts <= 0:
+        raise SimulationError("need at least one partition")
+    total = int(work.sum())
+    prefix = np.concatenate(([0], np.cumsum(work)))
+    bounds = [0]
+    for part in range(1, n_parts):
+        target = total * part / n_parts
+        cut = int(np.searchsorted(prefix, target, side="left"))
+        bounds.append(min(max(cut, bounds[-1]), work.size))
+    bounds.append(work.size)
+    return [range(lo, hi) for lo, hi in zip(bounds, bounds[1:])]
+
+
+@dataclass
+class ParallelReport:
+    """Outcome of one multi-core simulation."""
+
+    kernel: str
+    stc: str
+    n_cores: int
+    per_core: List[SimReport] = field(default_factory=list)
+
+    @property
+    def wall_cycles(self) -> int:
+        """Parallel completion: the slowest core's cycles."""
+        return max((r.cycles for r in self.per_core), default=0)
+
+    @property
+    def total_cycles(self) -> int:
+        """Aggregate core-cycles (the serial-equivalent work)."""
+        return sum(r.cycles for r in self.per_core)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(r.energy_pj for r in self.per_core)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean core cycles; 1.0 = perfectly balanced."""
+        cycles = [r.cycles for r in self.per_core if r.cycles]
+        if not cycles:
+            return 1.0
+        return max(cycles) / (sum(cycles) / len(cycles))
+
+    def speedup_vs_single(self) -> float:
+        """Parallel speedup over running all work on one core."""
+        return self.total_cycles / self.wall_cycles if self.wall_cycles else 1.0
+
+
+def _tasks_for_rows(
+    kernel: str,
+    a: BBCMatrix,
+    rows: range,
+    x: Optional[SparseVector],
+    b: Optional[BBCMatrix],
+    b_cols: int,
+):
+    """The T1 tasks of one block-row range (mirrors taskstream logic)."""
+    bitmaps = a.block_bitmaps_all()
+    if kernel == "spgemm":
+        other = b or a
+        other_bitmaps = other.block_bitmaps_all()
+        for brow in rows:
+            cols, idxs = a.block_row(brow)
+            for bcol, idx in zip(cols, idxs):
+                if bcol >= other.block_rows:
+                    continue
+                _, b_idx = other.block_row(int(bcol))
+                for j in b_idx:
+                    yield T1Task.from_bitmaps(bitmaps[idx], other_bitmaps[j])
+        return
+    if kernel == "spmv":
+        from repro.kernels.vector import dense_segment_mask
+
+        for brow in rows:
+            cols, idxs = a.block_row(brow)
+            for bcol, idx in zip(cols, idxs):
+                mask = dense_segment_mask(a.shape[1], int(bcol), BLOCK)
+                if mask.any():
+                    yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+        return
+    if kernel == "spmspv":
+        masks = {int(s): x.segment_mask(int(s), BLOCK) for s in x.nonempty_segments(BLOCK)}
+        for brow in rows:
+            cols, idxs = a.block_row(brow)
+            for bcol, idx in zip(cols, idxs):
+                mask = masks.get(int(bcol))
+                if mask is not None:
+                    yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+        return
+    if kernel == "spmm":
+        full_panels, tail = divmod(b_cols, BLOCK)
+        import numpy as _np
+
+        full = _np.ones((BLOCK, BLOCK), dtype=bool)
+        tail_mask = _np.zeros((BLOCK, BLOCK), dtype=bool)
+        tail_mask[:, :tail] = True
+        for brow in rows:
+            _, idxs = a.block_row(brow)
+            for idx in idxs:
+                if full_panels:
+                    yield T1Task.from_bitmaps(bitmaps[idx], full, weight=full_panels)
+                if tail:
+                    yield T1Task.from_bitmaps(bitmaps[idx], tail_mask)
+        return
+    raise SimulationError(f"unknown kernel {kernel!r}")
+
+
+def simulate_parallel(
+    kernel: str,
+    a: BBCMatrix,
+    stc_factory: Callable[[], STCModel],
+    n_cores: int = 4,
+    x: Optional[SparseVector] = None,
+    b: Optional[BBCMatrix] = None,
+    b_cols: int = 64,
+    energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
+) -> ParallelReport:
+    """Simulate one kernel across statically-balanced cores.
+
+    ``stc_factory`` builds one model per core (models are stateless, so
+    sharing one instance is also fine — the factory exists so per-core
+    configurations can differ in ablations).
+    """
+    kernel = kernel.lower()
+    if kernel == "spmspv" and x is None:
+        raise SimulationError("spmspv needs the sparse vector operand 'x'")
+    work = block_row_work(a, kernel, b)
+    parts = partition_block_rows(work, n_cores)
+    report = ParallelReport(kernel=kernel, stc=stc_factory().name, n_cores=n_cores)
+    for rows in parts:
+        stc = stc_factory()
+        tasks = _tasks_for_rows(kernel, a, rows, x, b, b_cols)
+        report.per_core.append(
+            simulate_tasks(stc, tasks, kernel=kernel, energy_model=energy_model)
+        )
+    return report

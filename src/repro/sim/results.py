@@ -1,0 +1,101 @@
+"""Simulation reports and their aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.arch.counters import Counters
+from repro.arch.tasks import UtilHistogram
+from repro.errors import SimulationError
+
+
+@dataclass
+class SimReport:
+    """Aggregate outcome of running one kernel on one STC."""
+
+    stc: str
+    kernel: str
+    cycles: int = 0
+    products: int = 0
+    t1_tasks: int = 0
+    util_hist: UtilHistogram = field(default_factory=UtilHistogram)
+    counters: Counters = field(default_factory=Counters)
+    energy_pj: float = 0.0
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    matrix: Optional[str] = None
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Products per lane-cycle — the MAC-utilisation figure of Fig. 16."""
+        lanes = self.counters.get("lane_cycles")
+        return self.products / lanes if lanes else 0.0
+
+    @property
+    def c_write_traffic(self) -> float:
+        """Elements written towards C (Fig. 19's data-traffic metric)."""
+        return self.counters.get("c_elem_writes")
+
+    @property
+    def products_per_task(self) -> float:
+        """Mean intermediate products per T1 task (Fig. 20 x-axis)."""
+        return self.products / self.t1_tasks if self.t1_tasks else 0.0
+
+    def energy_efficiency_vs(self, baseline: "SimReport") -> float:
+        """Speedup x energy-reduction relative to ``baseline`` (paper metric)."""
+        return self.speedup_vs(baseline) * self.energy_reduction_vs(baseline)
+
+    def speedup_vs(self, baseline: "SimReport") -> float:
+        """Baseline cycles / our cycles."""
+        if self.cycles <= 0:
+            raise SimulationError("cannot compute speedup of an empty report")
+        return baseline.cycles / self.cycles
+
+    def energy_reduction_vs(self, baseline: "SimReport") -> float:
+        """Baseline energy / our energy."""
+        if self.energy_pj <= 0:
+            raise SimulationError("cannot compute energy reduction of an empty report")
+        return baseline.energy_pj / self.energy_pj
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate for speedups."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise SimulationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass
+class ComparisonRow:
+    """Aver/Max of P, E and E x P versus one baseline (Table VIII rows)."""
+
+    baseline: str
+    avg_speedup: float
+    max_speedup: float
+    avg_energy_reduction: float
+    max_energy_reduction: float
+    avg_efficiency: float
+    max_efficiency: float
+
+
+def compare(reports: List[SimReport], baselines: List[SimReport], baseline_name: str) -> ComparisonRow:
+    """Build one Table VIII row from paired per-matrix reports."""
+    if len(reports) != len(baselines) or not reports:
+        raise SimulationError("paired report lists must be equal-length and non-empty")
+    speedups = [r.speedup_vs(b) for r, b in zip(reports, baselines)]
+    energies = [r.energy_reduction_vs(b) for r, b in zip(reports, baselines)]
+    effs = [s * e for s, e in zip(speedups, energies)]
+    return ComparisonRow(
+        baseline=baseline_name,
+        avg_speedup=geomean(speedups),
+        max_speedup=max(speedups),
+        avg_energy_reduction=geomean(energies),
+        max_energy_reduction=max(energies),
+        avg_efficiency=geomean(effs),
+        max_efficiency=max(effs),
+    )

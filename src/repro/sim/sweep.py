@@ -1,0 +1,117 @@
+"""Declarative experiment sweeps: (matrix x STC x kernel) grids.
+
+The benchmark harness hand-writes its fan-outs; this module gives
+downstream users the same capability as a library: declare a grid of
+cases, run it (with the engine's memoisation shared across cases), and
+get tidy rows ready for :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.base import STCModel
+from repro.errors import SimulationError
+from repro.formats.bbc import BBCMatrix
+from repro.formats.coo import COOMatrix
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_kernel
+from repro.sim.results import SimReport, geomean
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One (matrix, STC, kernel) cell of a sweep grid."""
+
+    matrix_name: str
+    stc_name: str
+    kernel: str
+
+
+@dataclass
+class SweepResult:
+    """One executed cell."""
+
+    case: SweepCase
+    report: SimReport
+
+
+@dataclass
+class Sweep:
+    """A configured sweep grid.
+
+    ``matrices`` maps names to COO matrices; ``stcs`` maps names to
+    zero-argument model factories; ``kernels`` lists kernel names.
+    SpMSpV operands are generated at 50% sparsity unless supplied via
+    ``spmspv_operands``.
+    """
+
+    matrices: Dict[str, COOMatrix]
+    stcs: Dict[str, Callable[[], STCModel]]
+    kernels: Sequence[str]
+    spmspv_operands: Dict[str, SparseVector] = field(default_factory=dict)
+
+    def cases(self) -> List[SweepCase]:
+        """Every cell of the grid, matrices outermost (cache-friendly)."""
+        return [
+            SweepCase(m, s, k)
+            for m in self.matrices
+            for k in self.kernels
+            for s in self.stcs
+        ]
+
+    def _operand(self, name: str, bbc: BBCMatrix) -> SparseVector:
+        if name in self.spmspv_operands:
+            return self.spmspv_operands[name]
+        import numpy as np
+
+        rng = np.random.default_rng(abs(hash(name)) % (2**32))
+        dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
+        return SparseVector.from_dense(dense)
+
+    def run(self, progress: Optional[Callable[[SweepCase], None]] = None) -> List[SweepResult]:
+        """Execute the whole grid; per-matrix encodings happen once."""
+        results: List[SweepResult] = []
+        for m_name, coo in self.matrices.items():
+            bbc = BBCMatrix.from_coo(coo)
+            for kernel in self.kernels:
+                kwargs = {}
+                if kernel == "spmspv":
+                    kwargs["x"] = self._operand(m_name, bbc)
+                for s_name, factory in self.stcs.items():
+                    case = SweepCase(m_name, s_name, kernel)
+                    if progress is not None:
+                        progress(case)
+                    report = simulate_kernel(
+                        kernel, bbc, factory(), matrix=m_name, **kwargs
+                    )
+                    results.append(SweepResult(case=case, report=report))
+        return results
+
+
+def rows_from_results(results: Iterable[SweepResult]) -> List[List]:
+    """Tidy rows (matrix, kernel, stc, cycles, util, energy) for tables."""
+    return [
+        [r.case.matrix_name, r.case.kernel, r.case.stc_name,
+         r.report.cycles, r.report.mean_utilisation, r.report.energy_pj]
+        for r in results
+    ]
+
+
+def geomean_speedups(
+    results: Sequence[SweepResult], target: str, baseline: str
+) -> Dict[str, float]:
+    """Per-kernel geomean speedup of ``target`` over ``baseline``."""
+    by_cell: Dict[SweepCase, SimReport] = {r.case: r.report for r in results}
+    per_kernel: Dict[str, List[float]] = {}
+    for case, report in by_cell.items():
+        if case.stc_name != target:
+            continue
+        base_case = SweepCase(case.matrix_name, baseline, case.kernel)
+        if base_case not in by_cell:
+            raise SimulationError(f"baseline run missing for {base_case}")
+        per_kernel.setdefault(case.kernel, []).append(
+            report.speedup_vs(by_cell[base_case])
+        )
+    return {kernel: geomean(vals) for kernel, vals in per_kernel.items()}

@@ -1,0 +1,36 @@
+"""Workload generators: SuiteSparse/DLMC substitutes and applications' inputs."""
+
+from repro.workloads import (
+    collection,
+    dlmc,
+    dnn,
+    matrixmarket,
+    representative,
+    stats,
+    structured,
+    suitesparse,
+    synthetic,
+)
+from repro.workloads.representative import TABLE_VII, representative_matrices
+from repro.workloads.suitesparse import MatrixSpec, corpus, iter_matrices, small_corpus
+from repro.workloads.synthetic import poisson2d, poisson3d
+
+__all__ = [
+    "MatrixSpec",
+    "collection",
+    "TABLE_VII",
+    "corpus",
+    "dlmc",
+    "dnn",
+    "iter_matrices",
+    "matrixmarket",
+    "poisson2d",
+    "poisson3d",
+    "representative",
+    "representative_matrices",
+    "small_corpus",
+    "stats",
+    "structured",
+    "suitesparse",
+    "synthetic",
+]

@@ -1,0 +1,61 @@
+"""Directory-based matrix collections (real SuiteSparse, when available).
+
+When a user does have SuiteSparse downloads (``.mtx`` files), this
+loader turns a directory tree into the same ``(name, matrix)`` stream
+the synthetic corpus provides, so every benchmark can run on real data
+by swapping one fixture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.workloads.matrixmarket import read_mtx
+
+
+def discover(root: Union[str, Path], recursive: bool = True) -> List[Path]:
+    """All ``.mtx`` files under ``root``, sorted for determinism."""
+    root = Path(root)
+    if not root.is_dir():
+        raise FormatError(f"{root} is not a directory")
+    pattern = "**/*.mtx" if recursive else "*.mtx"
+    return sorted(root.glob(pattern))
+
+
+def load_collection(
+    root: Union[str, Path],
+    limit: Optional[int] = None,
+    max_nnz: Optional[int] = None,
+    skip_errors: bool = False,
+) -> Iterator[Tuple[str, COOMatrix]]:
+    """Yield ``(name, matrix)`` for every readable .mtx under ``root``.
+
+    ``max_nnz`` skips matrices too large for the Python simulator;
+    ``skip_errors`` tolerates unsupported Matrix Market variants
+    (complex fields etc.) instead of aborting the sweep.
+    """
+    count = 0
+    for path in discover(root):
+        if limit is not None and count >= limit:
+            return
+        try:
+            matrix = read_mtx(path)
+        except (FormatError, ValueError):
+            if skip_errors:
+                continue
+            raise
+        if max_nnz is not None and matrix.nnz > max_nnz:
+            continue
+        count += 1
+        yield path.stem, matrix
+
+
+def collection_summary(root: Union[str, Path]) -> List[Tuple[str, Tuple[int, int], int]]:
+    """Lightweight inventory: (name, shape, nnz) per readable matrix."""
+    out = []
+    for name, matrix in load_collection(root, skip_errors=True):
+        out.append((name, matrix.shape, matrix.nnz))
+    return out

@@ -1,0 +1,79 @@
+"""DLMC-substitute pruned weight matrices (70% / 98% sparsity).
+
+The Deep Learning Matrix Collection holds magnitude-pruned weights.
+Offline, we generate weights with the two properties that matter to
+the simulators: the target unstructured sparsity level, and the mild
+row-wise imbalance magnitude pruning produces (some output channels
+retain far more weights than others).  A structured (balanced
+row-wise) variant exists for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.workloads.dnn import LayerSpec, resnet50_layers, transformer_layers
+
+#: The paper's two DLMC sparsity operating points.
+SPARSITIES = (0.70, 0.98)
+
+
+def pruned_weight(
+    m: int,
+    k: int,
+    sparsity: float,
+    structured: bool = False,
+    seed: Optional[int] = None,
+) -> COOMatrix:
+    """An ``m x k`` weight matrix pruned to the given sparsity.
+
+    Unstructured pruning keeps weights whose synthetic magnitude
+    exceeds the global threshold, with per-row scales drawn lognormally
+    (the channel imbalance real magnitude pruning exhibits); structured
+    pruning keeps exactly the same count per row.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ShapeError(f"sparsity {sparsity} outside [0, 1)")
+    rng = np.random.default_rng(seed)
+    keep_fraction = 1.0 - sparsity
+    if structured:
+        per_row = max(1, int(round(keep_fraction * k)))
+        rows = np.repeat(np.arange(m), per_row)
+        cols = np.concatenate([
+            rng.choice(k, size=per_row, replace=False) for _ in range(m)
+        ])
+    else:
+        magnitudes = np.abs(rng.normal(size=(m, k)))
+        magnitudes *= rng.lognormal(sigma=0.6, size=(m, 1))
+        threshold = np.quantile(magnitudes, sparsity)
+        rows, cols = np.nonzero(magnitudes > threshold)
+    vals = rng.normal(size=rows.size)
+    vals[vals == 0.0] = 1.0
+    return COOMatrix((m, k), rows, cols, vals)
+
+
+def dlmc_corpus(
+    model: str = "resnet50",
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+    seed: int = 11,
+) -> List[Tuple[LayerSpec, COOMatrix]]:
+    """Pruned weights for every layer of a model catalogue.
+
+    ``model`` is ``"resnet50"`` or ``"transformer"``; each returned
+    pair is the (scaled) layer spec and its pruned ``m x k`` weight.
+    """
+    if model == "resnet50":
+        layers = resnet50_layers(scale) if scale else resnet50_layers()
+    elif model == "transformer":
+        layers = transformer_layers(scale) if scale else transformer_layers()
+    else:
+        raise ShapeError(f"unknown model {model!r}")
+    out = []
+    for i, layer in enumerate(layers):
+        out.append((layer, pruned_weight(layer.m, layer.k, sparsity, seed=seed + i)))
+    return out

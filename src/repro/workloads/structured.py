@@ -1,0 +1,98 @@
+"""Structured-sparsity workloads: N:M pruning and R-MAT graphs.
+
+Two workload families that extend the evaluation:
+
+- **N:M structured pruning** (e.g. the A100's 2:4): at most N nonzeros
+  in every aligned group of M along the reduction dimension.  DLMC
+  carries structured variants, and NV-DTC's sparse mode only
+  accelerates this pattern — see
+  :class:`repro.baselines.nv_dtc_sparse.NvDTCSparse`.
+- **R-MAT / Kronecker graphs**: the recursive-matrix generator behind
+  the Graph500 benchmark, a major SuiteSparse family the synthetic
+  corpus otherwise approximates with Zipf degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+
+
+def nm_pruned_weight(
+    m: int,
+    k: int,
+    n: int = 2,
+    group: int = 4,
+    seed: Optional[int] = None,
+) -> COOMatrix:
+    """An ``m x k`` weight matrix with N:M structured sparsity along K.
+
+    Every aligned ``group``-wide window of each row keeps exactly
+    ``n`` entries (the positions with the largest synthetic magnitude),
+    which is the 2:4 pattern for the defaults.
+    """
+    if not 0 < n <= group:
+        raise ShapeError(f"need 0 < N <= M, got {n}:{group}")
+    if k % group:
+        raise ShapeError(f"K={k} must be a multiple of the group size {group}")
+    rng = np.random.default_rng(seed)
+    magnitudes = np.abs(rng.normal(size=(m, k))) + 1e-12
+    windows = magnitudes.reshape(m, k // group, group)
+    # Keep the n largest magnitudes per window.
+    order = np.argsort(windows, axis=2)
+    keep = np.zeros_like(windows, dtype=bool)
+    np.put_along_axis(keep, order[:, :, group - n :], True, axis=2)
+    mask = keep.reshape(m, k)
+    rows, cols = np.nonzero(mask)
+    vals = rng.normal(size=rows.size)
+    vals[vals == 0.0] = 1.0
+    return COOMatrix((m, k), rows, cols, vals)
+
+
+def verify_nm_pattern(matrix: COOMatrix, n: int = 2, group: int = 4) -> bool:
+    """Check a matrix satisfies the N:M constraint along its columns."""
+    if matrix.shape[1] % group:
+        return False
+    dense = matrix.to_dense() != 0
+    windows = dense.reshape(matrix.shape[0], matrix.shape[1] // group, group)
+    return bool((windows.sum(axis=2) <= n).all())
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+) -> COOMatrix:
+    """An R-MAT (Kronecker) graph adjacency of ``2**scale`` vertices.
+
+    The classic Graph500 parameters (a=0.57, b=c=0.19, d=0.05) produce
+    the skewed degree distributions real web/social graphs show.
+    Duplicate edges collapse via COO canonicalisation.
+    """
+    if scale <= 0 or scale > 20:
+        raise ShapeError("scale must be in 1..20 for an in-memory graph")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ShapeError("R-MAT probabilities must sum to at most 1")
+    n = 1 << scale
+    n_edges = edge_factor * n
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(n_edges)
+        # Quadrants: [0,a) top-left, [a,a+b) top-right,
+        # [a+b,a+b+c) bottom-left, rest bottom-right.
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        rows |= go_down.astype(np.int64) << (scale - 1 - level)
+        cols |= go_right.astype(np.int64) << (scale - 1 - level)
+    vals = np.ones(n_edges)
+    return COOMatrix((n, n), rows, cols, vals)

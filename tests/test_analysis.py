@@ -1,0 +1,99 @@
+"""Tests for the analysis metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import metrics
+from repro.analysis.tables import render_table
+from repro.errors import SimulationError
+from repro.sim.results import SimReport
+
+
+def _report(name, cycles, energy):
+    return SimReport(stc=name, kernel="k", cycles=cycles, energy_pj=energy)
+
+
+class TestBaselineMetrics:
+    @pytest.fixture
+    def reports(self):
+        return {
+            "ds-stc": _report("ds-stc", 100, 50.0),
+            "rm-stc": _report("rm-stc", 50, 40.0),
+            "uni-stc": _report("uni-stc", 25, 20.0),
+        }
+
+    def test_speedups(self, reports):
+        s = metrics.speedups_vs_baseline(reports, "ds-stc")
+        assert s["ds-stc"] == 1.0
+        assert s["rm-stc"] == 2.0
+        assert s["uni-stc"] == 4.0
+
+    def test_energy_reductions(self, reports):
+        e = metrics.energy_reductions_vs_baseline(reports, "ds-stc")
+        assert e["uni-stc"] == 2.5
+
+    def test_efficiency_is_product(self, reports):
+        eff = metrics.efficiency_vs_baseline(reports, "ds-stc")
+        assert eff["uni-stc"] == pytest.approx(4.0 * 2.5)
+
+    def test_missing_baseline(self, reports):
+        with pytest.raises(SimulationError):
+            metrics.speedups_vs_baseline(reports, "nv-dtc")
+
+
+class TestDensityBuckets:
+    def test_bucket_edges(self):
+        assert metrics.density_bucket(0) == 0
+        assert metrics.density_bucket(8) == 1
+        assert metrics.density_bucket(4096) == len(metrics.DENSITY_BUCKETS) - 1
+
+    def test_buckets_cover_paper_range(self):
+        lo = metrics.DENSITY_BUCKETS[0][0]
+        hi = metrics.DENSITY_BUCKETS[-1][1]
+        assert lo == 0 and hi > 4096
+
+    def test_bucketise(self):
+        values = [1.0, 2.0, 3.0]
+        densities = [1, 100, 3000]
+        buckets = metrics.bucketise(values, densities)
+        assert buckets[0] == [1.0]
+        assert buckets[2] == [2.0]
+        assert buckets[5] == [3.0]
+
+    def test_bucketise_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            metrics.bucketise([1.0], [1, 2])
+
+    def test_bucket_geomeans_nan_for_empty(self):
+        means = metrics.bucket_geomeans([[2.0, 8.0], []])
+        assert means[0] == pytest.approx(4.0)
+        assert np.isnan(means[1])
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table T")
+        assert out.splitlines()[0] == "Table T"
+
+    def test_none_and_nan_rendered_as_dash(self):
+        out = render_table(["x", "y"], [[None, float("nan")]])
+        assert out.splitlines()[-1].split() == ["-", "-"]
+
+    def test_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in out
+
+    def test_bool_rendering(self):
+        out = render_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,103 @@
+"""Tests for the area model, Table IX and the EED metric."""
+
+import pytest
+
+from repro.arch.config import UniSTCConfig
+from repro.energy.area import (
+    A100_DIE_MM2,
+    DS_STC_AREA_MM2,
+    RM_STC_AREA_MM2,
+    UNITS_PER_GPU,
+    area_breakdown,
+    die_percentage,
+    eed,
+    sram_area_mm2,
+    stc_area_mm2,
+    total_area_mm2,
+)
+from repro.errors import ConfigError
+
+
+class TestSRAM:
+    def test_monotone_in_capacity(self):
+        assert sram_area_mm2(2048) > sram_area_mm2(1024) > sram_area_mm2(144)
+
+    def test_calibration_meta_buffer(self):
+        """Table IX: the 144 B meta buffer is ~0.0005 mm²."""
+        assert sram_area_mm2(144) == pytest.approx(0.0005, rel=0.5)
+
+    def test_calibration_accumulator(self):
+        assert sram_area_mm2(1024) == pytest.approx(0.003, rel=0.35)
+
+    def test_calibration_matrix_a(self):
+        assert sram_area_mm2(2048) == pytest.approx(0.007, rel=0.25)
+
+    def test_node_scaling_quadratic(self):
+        assert sram_area_mm2(1024, node_nm=14.0) == pytest.approx(
+            4 * sram_area_mm2(1024, node_nm=7.0)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            sram_area_mm2(-1)
+
+
+class TestTableIX:
+    def test_breakdown_has_all_rows(self):
+        rows = area_breakdown()
+        assert len(rows) == 6
+        assert "TMS & DPG" in rows
+        assert "Extra adders in SDPU" in rows
+
+    def test_total_near_paper(self):
+        """Paper: 0.0425 mm² per unit."""
+        assert total_area_mm2() == pytest.approx(0.0425, rel=0.15)
+
+    def test_die_percentage_near_paper(self):
+        """Paper: 432 units occupy ~2.12% of the 826 mm² A100 die."""
+        assert die_percentage() == pytest.approx(2.12, rel=0.2)
+
+    def test_deployment_constants(self):
+        assert UNITS_PER_GPU == 4 * 108
+        assert A100_DIE_MM2 == 826.0
+
+    def test_dpg_count_scales_area(self):
+        a4 = total_area_mm2(UniSTCConfig(num_dpgs=4, tile_queue_depth=8))
+        a8 = total_area_mm2()
+        a16 = total_area_mm2(UniSTCConfig(num_dpgs=16))
+        assert a4 < a8 < a16
+
+    def test_uni_overhead_vs_rm_near_paper(self):
+        """Paper: Uni-STC's dedicated modules are ~18% larger than RM-STC's."""
+        ratio = total_area_mm2() / RM_STC_AREA_MM2
+        assert ratio == pytest.approx(1.18, rel=0.1)
+
+
+class TestEED:
+    def test_baseline_is_unity(self):
+        assert eed(1.0, 1.0, "ds-stc") == pytest.approx(1.0)
+
+    def test_area_penalises(self):
+        # Same speedup/energy, bigger area -> lower EED.
+        assert eed(2.0, 2.0, "uni-stc") < eed(2.0, 2.0, "ds-stc")
+
+    def test_uses_configured_dpgs(self):
+        big = eed(2.0, 2.0, "uni-stc", UniSTCConfig(num_dpgs=16))
+        small = eed(2.0, 2.0, "uni-stc", UniSTCConfig(num_dpgs=4, tile_queue_depth=8))
+        assert big < small
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            eed(0.0, 1.0, "uni-stc")
+
+    def test_stc_area_lookup(self):
+        assert stc_area_mm2("ds-stc") == DS_STC_AREA_MM2
+        assert stc_area_mm2("rm-stc") == RM_STC_AREA_MM2
+        assert stc_area_mm2("uni-stc") == pytest.approx(total_area_mm2())
+        with pytest.raises(ConfigError):
+            stc_area_mm2("gamma")
+
+    def test_rm_decoder_premise(self):
+        """RM-STC spends area on a format decoder BBC removes (§IV-D):
+        its dedicated area must exceed DS-STC's."""
+        assert RM_STC_AREA_MM2 > DS_STC_AREA_MM2

@@ -1,0 +1,70 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, grouped_bar_chart, histogram, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10     # peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "#" not in out
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        out = bar_chart(["a"], [3.14159], unit="x")
+        assert "3.14x" in out
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(["g1", "g2"], {"s1": [1, 2], "s2": [2, 1]}, width=8)
+        lines = out.splitlines()
+        assert lines[0] == "g1:"
+        assert len(lines) == 6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1"], {"s": [1, 2]})
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert sorted(line) == list(line)
+
+    def test_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestHistogram:
+    def test_percent_labels(self):
+        out = histogram(["low", "high"], [0.25, 0.75])
+        assert "75.00%" in out and "25.00%" in out
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            histogram(["a"], [-0.1])

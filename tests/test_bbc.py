@@ -1,0 +1,194 @@
+"""Tests for the BBC format — construction, decode, bitmaps, I/O, storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.formats import BBCMatrix, COOMatrix, CSRMatrix
+from repro.formats.bbc import BLOCK, TILE, TILES_PER_BLOCK
+from repro.formats.bitarray import popcount_array
+
+
+class TestConstants:
+    def test_block_and_tile(self):
+        assert BLOCK == 16
+        assert TILE == 4
+        assert TILES_PER_BLOCK == 16
+
+
+class TestConstruction:
+    def test_empty_matrix(self):
+        m = BBCMatrix.from_coo(COOMatrix((10, 10), [], [], []))
+        assert m.nnz == 0
+        assert m.nblocks == 0
+        assert m.to_dense().shape == (10, 10)
+
+    def test_single_element(self):
+        m = BBCMatrix.from_coo(COOMatrix((20, 20), [17], [3], [5.0]))
+        assert m.nblocks == 1
+        assert m.ntiles == 1
+        assert m.to_dense()[17, 3] == 5.0
+
+    def test_roundtrip(self, small_coo):
+        assert np.allclose(BBCMatrix.from_coo(small_coo).to_dense(), small_coo.to_dense())
+
+    def test_from_csr(self, small_csr):
+        assert np.allclose(BBCMatrix.from_csr(small_csr).to_dense(), small_csr.to_dense())
+
+    def test_from_dense(self, small_dense):
+        assert np.allclose(BBCMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_to_csr(self, small_csr):
+        assert BBCMatrix.from_csr(small_csr).to_csr() == small_csr
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((m, n)) * (rng.random((m, n)) < 0.25)
+        assert np.allclose(BBCMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_dense_16x16_is_one_full_block(self):
+        m = BBCMatrix.from_dense(np.ones((16, 16)))
+        assert m.nblocks == 1
+        assert m.ntiles == 16
+        assert int(m.bitmap_lv1[0]) == 0xFFFF
+        assert all(int(b) == 0xFFFF for b in m.bitmap_lv2)
+
+
+class TestStructuralInvariants:
+    def test_lv1_popcount_equals_tile_count(self, small_bbc):
+        assert int(popcount_array(small_bbc.bitmap_lv1).sum()) == small_bbc.ntiles
+
+    def test_lv2_popcount_equals_nnz(self, small_bbc):
+        assert int(popcount_array(small_bbc.bitmap_lv2).sum()) == small_bbc.nnz
+
+    def test_val_ptr_lv1_monotone(self, small_bbc):
+        assert np.all(np.diff(small_bbc.val_ptr_lv1) >= 0)
+
+    def test_val_ptr_lv2_offsets_consistent(self, small_bbc):
+        """Each tile's offset equals the popcount prefix of earlier tiles."""
+        for blk in range(small_bbc.nblocks):
+            lo, hi = small_bbc.tile_ptr[blk], small_bbc.tile_ptr[blk + 1]
+            running = 0
+            for t in range(lo, hi):
+                assert int(small_bbc.val_ptr_lv2[t]) == running
+                running += int(popcount_array(small_bbc.bitmap_lv2[t : t + 1])[0])
+
+    def test_block_cols_sorted_within_rows(self, small_bbc):
+        for brow in range(small_bbc.block_rows):
+            cols, _ = small_bbc.block_row(brow)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_nnz_per_block_sums_to_nnz(self, small_bbc):
+        assert int(small_bbc.nnz_per_block().sum()) == small_bbc.nnz
+
+    def test_validation_rejects_bad_lv1(self, small_bbc):
+        if small_bbc.nblocks == 0:
+            pytest.skip("needs at least one block")
+        bad = small_bbc.bitmap_lv1.copy()
+        bad[0] = 0
+        with pytest.raises(FormatError):
+            BBCMatrix(
+                small_bbc.shape, small_bbc.row_ptr, small_bbc.col_idx, bad,
+                small_bbc.tile_ptr, small_bbc.bitmap_lv2, small_bbc.val_ptr_lv1,
+                small_bbc.val_ptr_lv2, small_bbc.values,
+            )
+
+
+class TestBlockAccess:
+    def test_find_block(self, small_bbc):
+        for brow, bcol, idx in small_bbc.iter_blocks():
+            assert small_bbc.find_block(brow, bcol) == idx
+
+    def test_find_missing_block(self):
+        m = BBCMatrix.from_coo(COOMatrix((32, 32), [0], [0], [1.0]))
+        assert m.find_block(1, 1) is None
+
+    def test_block_bitmap_matches_dense(self, small_bbc):
+        for _, _, idx in small_bbc.iter_blocks():
+            assert np.array_equal(
+                small_bbc.block_bitmap(idx), small_bbc.block_dense(idx) != 0
+            )
+
+    def test_block_bitmaps_all_matches_scalar(self, small_bbc):
+        grids = small_bbc.block_bitmaps_all()
+        for _, _, idx in small_bbc.iter_blocks():
+            assert np.array_equal(grids[idx], small_bbc.block_bitmap(idx))
+
+    def test_tile_bitmaps_grid(self, small_bbc):
+        for _, _, idx in small_bbc.iter_blocks():
+            grid = small_bbc.tile_bitmaps(idx)
+            bitmap = small_bbc.block_bitmap(idx)
+            for ti in range(4):
+                for tj in range(4):
+                    tile = bitmap[ti * 4 : (ti + 1) * 4, tj * 4 : (tj + 1) * 4]
+                    expected = sum(
+                        1 << (ei * 4 + ej)
+                        for ei in range(4) for ej in range(4) if tile[ei, ej]
+                    )
+                    assert int(grid[ti, tj]) == expected
+
+    def test_tile_ids_sorted_within_blocks(self, small_bbc):
+        ids = small_bbc.tile_ids()
+        for blk in range(small_bbc.nblocks):
+            lo, hi = small_bbc.tile_ptr[blk], small_bbc.tile_ptr[blk + 1]
+            segment = ids[lo:hi].astype(int)
+            assert np.all(np.diff(segment) > 0)
+
+
+class TestFileIO:
+    def test_save_load_roundtrip(self, small_bbc, tmp_path):
+        path = tmp_path / "matrix.npz"
+        small_bbc.save(path)
+        loaded = BBCMatrix.load(path)
+        assert np.allclose(loaded.to_dense(), small_bbc.to_dense())
+
+    def test_load_appends_npz_suffix(self, small_bbc, tmp_path):
+        path = tmp_path / "matrix"
+        small_bbc.save(path)
+        loaded = BBCMatrix.load(path)
+        assert loaded.nnz == small_bbc.nnz
+
+    def test_loaded_preserves_shape(self, tmp_path):
+        m = BBCMatrix.from_coo(COOMatrix((33, 7), [32], [6], [1.0]))
+        m.save(tmp_path / "odd.npz")
+        assert BBCMatrix.load(tmp_path / "odd.npz").shape == (33, 7)
+
+
+class TestStorage:
+    def test_metadata_bytes_positive(self, small_bbc):
+        assert small_bbc.metadata_bytes() > 0
+
+    def test_storage_total(self, small_bbc):
+        assert small_bbc.storage_bytes() == small_bbc.metadata_bytes() + 8 * small_bbc.nnz
+
+    def test_bbc_beats_csr_on_dense_blocks(self):
+        """The Fig. 15 headline: BBC wins at high nonzeros-per-block."""
+        dense = np.ones((64, 64))
+        coo = COOMatrix.from_dense(dense)
+        bbc = BBCMatrix.from_coo(coo)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.metadata_bytes() / bbc.metadata_bytes() > 8.0
+
+    def test_csr_beats_bbc_on_scattered(self):
+        """At very low NnzPB the bitmap overhead loses to plain CSR.
+
+        A random permutation matrix is the adversarial case: one
+        nonzero per row, almost every stored block holding one element.
+        """
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(256)
+        coo = COOMatrix((256, 256), np.arange(256), perm, np.ones(256))
+        bbc = BBCMatrix.from_coo(coo)
+        csr = CSRMatrix.from_coo(coo)
+        assert bbc.metadata_bytes() > csr.metadata_bytes()
+
+    def test_lv2_pointer_overhead_tiny(self):
+        """ValPtr_Lv2 must stay tiny (paper reports <= 0.3%; our 1-byte
+        encoding lands under 1% on a dense matrix — see EXPERIMENTS.md)."""
+        dense = np.ones((128, 128))
+        bbc = BBCMatrix.from_dense(dense)
+        lv2_bytes = bbc.val_ptr_lv2.size  # one byte each
+        assert lv2_bytes / bbc.storage_bytes() <= 0.01

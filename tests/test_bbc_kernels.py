@@ -1,0 +1,121 @@
+"""BBC block kernels against the golden references and dense numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import BBCMatrix, CSRMatrix
+from repro.kernels import bbc_kernels as bk
+from repro.kernels import reference as ref
+from repro.kernels.vector import SparseVector
+
+
+def _pair(rng, m, n, density=0.25):
+    dense = rng.random((m, n)) * (rng.random((m, n)) < density)
+    return dense, BBCMatrix.from_dense(dense)
+
+
+class TestSpMV:
+    def test_matches_numpy(self, rng):
+        dense, bbc = _pair(rng, 45, 33)
+        x = rng.random(33)
+        assert np.allclose(bk.spmv(bbc, x), dense @ x)
+
+    def test_non_multiple_of_block(self, rng):
+        dense, bbc = _pair(rng, 17, 19)
+        x = rng.random(19)
+        assert np.allclose(bk.spmv(bbc, x), dense @ x)
+
+    def test_shape_mismatch(self, small_bbc):
+        with pytest.raises(ShapeError):
+            bk.spmv(small_bbc, np.ones(small_bbc.shape[1] + 1))
+
+    def test_agrees_with_reference(self, rng):
+        dense, bbc = _pair(rng, 30, 30)
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.random(30)
+        assert np.allclose(bk.spmv(bbc, x), ref.spmv(csr, x))
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_random(self, m, n, seed):
+        gen = np.random.default_rng(seed)
+        dense, bbc = _pair(gen, m, n)
+        x = gen.standard_normal(n)
+        assert np.allclose(bk.spmv(bbc, x), dense @ x)
+
+
+class TestSpMSpV:
+    def test_matches_numpy(self, rng):
+        dense, bbc = _pair(rng, 40, 50)
+        xs = rng.random(50) * (rng.random(50) < 0.5)
+        out = bk.spmspv(bbc, SparseVector.from_dense(xs))
+        assert np.allclose(out.to_dense(), dense @ xs)
+
+    def test_empty_vector(self, small_bbc):
+        out = bk.spmspv(small_bbc, SparseVector(small_bbc.shape[1], [], []))
+        assert out.nnz == 0
+
+    def test_length_mismatch(self, small_bbc):
+        with pytest.raises(ShapeError):
+            bk.spmspv(small_bbc, SparseVector(1, [], []))
+
+    def test_agrees_with_spmv(self, rng):
+        dense, bbc = _pair(rng, 30, 30)
+        xs = rng.random(30) * (rng.random(30) < 0.5)
+        assert np.allclose(
+            bk.spmspv(bbc, SparseVector.from_dense(xs)).to_dense(),
+            bk.spmv(bbc, xs),
+        )
+
+
+class TestSpMM:
+    def test_matches_numpy(self, rng):
+        dense, bbc = _pair(rng, 35, 28)
+        b = rng.random((28, 64))
+        assert np.allclose(bk.spmm(bbc, b), dense @ b)
+
+    def test_odd_widths(self, rng):
+        dense, bbc = _pair(rng, 18, 21)
+        b = rng.random((21, 5))
+        assert np.allclose(bk.spmm(bbc, b), dense @ b)
+
+    def test_shape_mismatch(self, small_bbc):
+        with pytest.raises(ShapeError):
+            bk.spmm(small_bbc, np.ones((small_bbc.shape[1] + 1, 3)))
+
+
+class TestSpGEMM:
+    def test_matches_numpy(self, rng):
+        da, a = _pair(rng, 30, 24)
+        db, b = _pair(rng, 24, 36)
+        assert np.allclose(bk.spgemm(a, b).to_dense(), da @ db)
+
+    def test_square_self_product(self, rng):
+        da, a = _pair(rng, 33, 33, density=0.15)
+        assert np.allclose(bk.spgemm(a, a).to_dense(), da @ da)
+
+    def test_returns_bbc(self, rng):
+        _, a = _pair(rng, 20, 20)
+        assert isinstance(bk.spgemm(a, a), BBCMatrix)
+
+    def test_inner_mismatch(self, rng):
+        _, a = _pair(rng, 10, 20)
+        with pytest.raises(ShapeError):
+            bk.spgemm(a, a)
+
+    def test_agrees_with_reference(self, rng):
+        da, a = _pair(rng, 25, 25)
+        csr = CSRMatrix.from_dense(da)
+        assert np.allclose(
+            bk.spgemm(a, a).to_dense(), ref.spgemm(csr, csr).to_dense()
+        )
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 30), st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_random(self, m, k, n, seed):
+        gen = np.random.default_rng(seed)
+        da, a = _pair(gen, m, k)
+        db, b = _pair(gen, k, n)
+        assert np.allclose(bk.spgemm(a, b).to_dense(), da @ db)

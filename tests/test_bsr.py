@@ -1,0 +1,74 @@
+"""Tests for the BSR container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.formats import BSRMatrix, COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_roundtrip(self, small_coo):
+        m = BSRMatrix.from_coo(small_coo, 4)
+        rows, cols = small_coo.shape
+        assert np.allclose(m.to_dense()[:rows, :cols], small_coo.to_dense())
+
+    def test_shape_padded_to_block_multiple(self):
+        coo = COOMatrix((5, 7), [0], [0], [1.0])
+        m = BSRMatrix.from_coo(coo, 4)
+        assert m.shape == (8, 8)
+
+    def test_nnz_excludes_padding(self, small_coo):
+        m = BSRMatrix.from_coo(small_coo, 4)
+        assert m.nnz == small_coo.nnz
+
+    def test_nblocks_counts_stored_blocks(self):
+        coo = COOMatrix((8, 8), [0, 7], [0, 7], [1.0, 1.0])
+        m = BSRMatrix.from_coo(coo, 4)
+        assert m.nblocks == 2
+
+    def test_invalid_block_size(self):
+        with pytest.raises(FormatError):
+            BSRMatrix((4, 4), 0, [0, 0], [], np.zeros((0, 0, 0)))
+
+    def test_blocks_shape_validated(self):
+        with pytest.raises(FormatError):
+            BSRMatrix((4, 4), 4, [0, 1], [0], np.zeros((1, 2, 4)))
+
+    @given(st.integers(1, 30), st.integers(0, 300), st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_random(self, n, seed, block):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((n, n)) * (rng.random((n, n)) < 0.2)
+        m = BSRMatrix.from_coo(COOMatrix.from_dense(dense), block)
+        assert np.allclose(m.to_dense()[:n, :n], dense)
+
+
+class TestStorage:
+    def test_padding_counts_as_overhead(self):
+        # One nonzero in a 4x4 block: 15 padded zeros stored.
+        coo = COOMatrix((4, 4), [0], [0], [1.0])
+        m = BSRMatrix.from_coo(coo, 4)
+        assert m.metadata_bytes() == (2 + 1) * 4 + 15 * 8
+
+    def test_bsr_worse_than_csr_on_scattered(self):
+        """The paper's Fig. 15 observation: BSR usually loses to CSR."""
+        rng = np.random.default_rng(0)
+        dense = rng.random((64, 64)) * (rng.random((64, 64)) < 0.02)
+        coo = COOMatrix.from_dense(dense)
+        bsr = BSRMatrix.from_coo(coo, 4)
+        csr = CSRMatrix.from_coo(coo)
+        assert bsr.metadata_bytes() > csr.metadata_bytes()
+
+    def test_bsr_competitive_on_dense_blocks(self):
+        dense = np.ones((16, 16))
+        coo = COOMatrix.from_dense(dense)
+        bsr = BSRMatrix.from_coo(coo, 4)
+        csr = CSRMatrix.from_coo(coo)
+        assert bsr.metadata_bytes() < csr.metadata_bytes()
+
+    def test_storage_total(self):
+        coo = COOMatrix((4, 4), [0], [0], [1.0])
+        m = BSRMatrix.from_coo(coo, 4)
+        assert m.storage_bytes() == (2 + 1) * 4 + 16 * 8

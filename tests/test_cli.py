@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_matrix_spec
+from repro.errors import ReproError
+
+
+class TestMatrixSpecs:
+    def test_band(self):
+        m = parse_matrix_spec("band:64:8:0.5")
+        assert m.shape == (64, 64)
+        assert m.nnz > 0
+
+    def test_random(self):
+        m = parse_matrix_spec("random:64:0.1")
+        assert m.shape == (64, 64)
+
+    def test_rmat(self):
+        assert parse_matrix_spec("rmat:5").shape == (32, 32)
+
+    def test_representative(self):
+        m = parse_matrix_spec("rep:consph")
+        assert m.shape == (256, 256)
+
+    def test_mtx(self, tmp_path, small_coo):
+        from repro.workloads.matrixmarket import write_mtx
+
+        path = tmp_path / "m.mtx"
+        write_mtx(path, small_coo)
+        assert parse_matrix_spec(f"mtx:{path}") == small_coo
+
+    def test_unknown_spec(self):
+        with pytest.raises(ReproError):
+            parse_matrix_spec("banana:1")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Uni-STC" in out
+        assert "spgemm" in out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels", "--matrix", "band:64:6:0.5",
+                     "--kernel", "spmv", "--stc", "ds-stc,uni-stc"]) == 0
+        out = capsys.readouterr().out
+        assert "uni-stc" in out and "speedup" in out
+
+    def test_kernels_spmspv(self, capsys):
+        assert main(["kernels", "--matrix", "random:64:0.1",
+                     "--kernel", "spmspv", "--stc", "uni-stc"]) == 0
+        assert "spmspv" in capsys.readouterr().out
+
+    def test_kernels_unknown_stc(self, capsys):
+        assert main(["kernels", "--stc", "tpu"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_formats(self, capsys):
+        assert main(["formats", "--matrix", "band:64:8:0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "bbc" in out
+
+    def test_amg(self, capsys):
+        assert main(["amg", "--grid", "10", "--stc", "ds-stc,uni-stc"]) == 0
+        out = capsys.readouterr().out
+        assert "V-cycles" in out
+        assert "spgemm cycles" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "Total Overhead" in out
+        assert "A100" in out
+
+    def test_area_dpg_sweep(self, capsys):
+        assert main(["area", "--dpgs", "4"]) == 0
+        assert main(["area", "--dpgs", "16"]) == 0
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--density", "0.3", "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle 0" in out
+        assert "intermediate products" in out
+
+    def test_bad_matrix_spec_returns_error(self, capsys):
+        assert main(["kernels", "--matrix", "nope:1"]) == 2
+
+    def test_corpus(self, capsys):
+        assert main(["corpus", "--limit", "3", "--kernel", "spmv",
+                     "--stc", "ds-stc,uni-stc"]) == 0
+        out = capsys.readouterr().out
+        assert "Aver ExP" in out
+        assert "vs ds-stc" in out
+
+    def test_corpus_needs_two_stcs(self, capsys):
+        assert main(["corpus", "--stc", "uni-stc"]) == 2

@@ -1,0 +1,115 @@
+"""Tests for the action counters and architecture configuration."""
+
+import pytest
+
+from repro.arch.config import FP16, FP32, FP64, PRECISIONS, UniSTCConfig
+from repro.arch.counters import ACTIONS, Counters
+from repro.errors import ConfigError
+
+
+class TestCounters:
+    def test_starts_empty(self):
+        c = Counters()
+        assert c.as_dict() == {}
+        assert c.get("mac_ops") == 0.0
+
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("mac_ops", 10)
+        c.add("mac_ops", 5)
+        assert c.get("mac_ops") == 15
+
+    def test_zero_add_not_stored(self):
+        c = Counters()
+        c.add("mac_ops", 0)
+        assert c.as_dict() == {}
+
+    def test_unknown_action_rejected(self):
+        c = Counters()
+        with pytest.raises(KeyError):
+            c.add("flux_capacitor", 1)
+        with pytest.raises(KeyError):
+            c.get("flux_capacitor")
+
+    def test_initial_mapping(self):
+        c = Counters({"mac_ops": 3, "queue_ops": 2})
+        assert c.get("mac_ops") == 3
+        assert c.get("queue_ops") == 2
+
+    def test_merge_weighted(self):
+        a = Counters({"mac_ops": 2})
+        b = Counters({"mac_ops": 3, "meta_reads": 1})
+        a.merge(b, weight=2)
+        assert a.get("mac_ops") == 8
+        assert a.get("meta_reads") == 2
+
+    def test_scaled_returns_new(self):
+        a = Counters({"mac_ops": 4})
+        b = a.scaled(0.5)
+        assert b.get("mac_ops") == 2
+        assert a.get("mac_ops") == 4
+
+    def test_equality(self):
+        assert Counters({"mac_ops": 1}) == Counters({"mac_ops": 1})
+        assert Counters({"mac_ops": 1}) != Counters({"mac_ops": 2})
+
+    def test_actions_vocabulary_stable(self):
+        # The energy model prices exactly these actions.
+        assert "mac_ops" in ACTIONS
+        assert "dpg_active_cycles" in ACTIONS
+        assert len(ACTIONS) == len(set(ACTIONS))
+
+
+class TestPrecision:
+    def test_mac_budgets(self):
+        """The paper's scaling: 64@FP64, 128@FP32, 256@FP16 (§IV-A)."""
+        assert FP64.macs == 64
+        assert FP32.macs == 128
+        assert FP16.macs == 256
+
+    def test_value_bytes(self):
+        assert FP64.value_bytes == 8
+        assert FP32.value_bytes == 4
+        assert FP16.value_bytes == 2
+
+    def test_registry(self):
+        assert PRECISIONS["fp64"] is FP64
+
+
+class TestUniSTCConfig:
+    def test_defaults_match_paper(self):
+        cfg = UniSTCConfig()
+        assert cfg.num_dpgs == 8
+        assert cfg.tile == 4
+        assert cfg.block == 16
+        assert cfg.frequency_ghz == 1.5
+        assert cfg.meta_buffer_bytes == 144
+        assert cfg.matrix_a_buffer_bytes == 2048
+        assert cfg.accumulator_buffer_bytes == 1024
+
+    def test_derived_quantities(self):
+        cfg = UniSTCConfig()
+        assert cfg.macs == 64
+        assert cfg.tiles_per_side == 4
+        assert cfg.max_products_per_t3 == 64
+
+    def test_with_dpgs(self):
+        cfg = UniSTCConfig().with_dpgs(16)
+        assert cfg.num_dpgs == 16
+        assert UniSTCConfig().num_dpgs == 8  # original untouched
+
+    def test_with_precision(self):
+        cfg = UniSTCConfig().with_precision(FP32)
+        assert cfg.macs == 128
+
+    def test_rejects_zero_dpgs(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(num_dpgs=0)
+
+    def test_rejects_indivisible_tile(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(tile=5)
+
+    def test_rejects_shallow_tile_queue(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(num_dpgs=8, tile_queue_depth=4)

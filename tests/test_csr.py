@@ -1,0 +1,137 @@
+"""Tests for the CSR container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = CSRMatrix.empty((3, 5))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 5)
+
+    def test_identity(self):
+        m = CSRMatrix.identity(4)
+        assert np.array_equal(m.to_dense(), np.eye(4))
+
+    def test_from_diagonal(self):
+        m = CSRMatrix.from_diagonal([1.0, 2.0, 3.0])
+        assert np.array_equal(m.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [1, 1, 1], [], [])
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_column_out_of_bounds(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_unsorted_row_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [2, 1], [1.0, 2.0])
+
+    def test_duplicate_in_row_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [1, 1], [1.0, 2.0])
+
+
+class TestConversions:
+    def test_from_coo_roundtrip(self, small_coo):
+        assert CSRMatrix.from_coo(small_coo).to_coo() == small_coo
+
+    def test_from_dense(self, small_dense):
+        assert np.allclose(CSRMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_coo_csr_coo_identity(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((m, n)) * (rng.random((m, n)) < 0.4)
+        coo = COOMatrix.from_dense(dense)
+        assert CSRMatrix.from_coo(coo).to_coo() == coo
+
+
+class TestAccessors:
+    def test_row(self):
+        m = CSRMatrix.from_dense(np.array([[0.0, 5.0, 0.0], [1.0, 0.0, 2.0]]))
+        cols, vals = m.row(1)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_row_out_of_bounds(self, small_csr):
+        with pytest.raises(ShapeError):
+            small_csr.row(small_csr.shape[0])
+
+    def test_row_nnz(self):
+        m = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 0.0], [1.0, 0.0]]))
+        assert m.row_nnz().tolist() == [2, 0, 1]
+
+    def test_diagonal(self):
+        dense = np.array([[1.0, 2.0], [0.0, 0.0]])
+        assert CSRMatrix.from_dense(dense).diagonal().tolist() == [1.0, 0.0]
+
+    def test_diagonal_rectangular(self):
+        dense = np.array([[3.0, 0.0, 1.0]])
+        assert CSRMatrix.from_dense(dense).diagonal().tolist() == [3.0]
+
+
+class TestOps:
+    def test_transpose(self, small_csr, small_dense):
+        assert np.allclose(small_csr.transpose().to_dense(), small_dense.T)
+
+    def test_scaled(self, small_csr):
+        assert np.allclose(small_csr.scaled(-1.5).to_dense(), -1.5 * small_csr.to_dense())
+
+    def test_with_data(self, small_csr):
+        doubled = small_csr.with_data(small_csr.data * 2)
+        assert np.allclose(doubled.to_dense(), 2 * small_csr.to_dense())
+
+    def test_with_data_wrong_length(self, small_csr):
+        with pytest.raises(FormatError):
+            small_csr.with_data(np.ones(small_csr.nnz + 1))
+
+    def test_prune(self):
+        m = CSRMatrix.from_dense(np.array([[1e-12, 1.0], [0.5, 1e-9]]))
+        pruned = m.prune(1e-6)
+        assert pruned.nnz == 2
+
+    def test_prune_keeps_shape(self, small_csr):
+        assert small_csr.prune(0.0).shape == small_csr.shape
+
+    def test_equality(self, small_csr, small_coo):
+        assert small_csr == CSRMatrix.from_coo(small_coo)
+
+    def test_not_hashable(self, small_csr):
+        with pytest.raises(TypeError):
+            hash(small_csr)
+
+
+class TestStorage:
+    def test_storage_bytes_exact(self):
+        m = CSRMatrix.from_dense(np.eye(4))
+        # indptr 5 + indices 4 at 4 bytes, 4 values at 8 bytes.
+        assert m.storage_bytes() == (5 + 4) * 4 + 4 * 8
+
+    def test_metadata_excludes_values(self, small_csr):
+        assert small_csr.metadata_bytes() == small_csr.storage_bytes() - 8 * small_csr.nnz
+
+    def test_metadata_grows_with_nnz(self):
+        small = CSRMatrix.from_dense(np.eye(8))
+        large = CSRMatrix.from_dense(np.ones((8, 8)))
+        assert large.metadata_bytes() > small.metadata_bytes()

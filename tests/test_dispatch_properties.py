@@ -1,0 +1,108 @@
+"""Hypothesis property tests on the TMS dispatcher and engine weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import UniSTCConfig
+from repro.arch.tms import ORDERINGS, TileMultiplyScheduler
+from repro.arch.unistc import UniSTC
+from repro.sim.engine import clear_cache, simulate_tasks
+
+from tests.conftest import make_block_task
+
+
+@st.composite
+def product_arrays(draw):
+    """Random T3 product arrays: per-layer occupancy and magnitudes."""
+    seed = draw(st.integers(0, 10_000))
+    density = draw(st.floats(0.05, 1.0))
+    rng = np.random.default_rng(seed)
+    products = (rng.random((4, 4, 4)) < density) * rng.integers(1, 65, size=(4, 4, 4))
+    return products.astype(np.int64)
+
+
+class TestDispatchProperties:
+    @given(product_arrays(), st.sampled_from(ORDERINGS))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_capacity(self, products, ordering):
+        tms = TileMultiplyScheduler(UniSTCConfig())
+        outcome = tms.schedule(products, ordering)
+        assert outcome.total_products == int(products.sum())
+        for cyc in outcome.cycles:
+            assert cyc.products <= 64
+            assert cyc.tasks <= 8
+
+    @given(product_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_no_coscheduled_output_conflicts(self, products):
+        """Within one cycle, dispatched tasks never share an output tile."""
+        tms = TileMultiplyScheduler(UniSTCConfig())
+        layers = tms.generate_tasks(products)
+        ordered = tms.order_tasks(layers, "dot")  # most conflict-prone order
+        # Re-run dispatch manually to inspect per-cycle output sets.
+        from collections import deque
+
+        cfg = tms.config
+        pending = deque(ordered)
+        while pending:
+            chosen = []
+            used = set()
+            skipped = []
+            total = 0
+            while pending and len(chosen) < cfg.num_dpgs:
+                t = pending.popleft()
+                if total + t.products > cfg.macs:
+                    pending.appendleft(t)
+                    break
+                if t.output_tile in used:
+                    skipped.append(t)
+                    if len(skipped) >= cfg.num_dpgs:
+                        break
+                    continue
+                chosen.append(t)
+                used.add(t.output_tile)
+                total += t.products
+            for t in reversed(skipped):
+                pending.appendleft(t)
+            assert len(used) == len(chosen)
+            assert chosen  # progress guaranteed
+
+    @given(product_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_deterministic(self, products):
+        tms = TileMultiplyScheduler(UniSTCConfig())
+        a = tms.schedule(products)
+        b = tms.schedule(products)
+        assert a.total_cycles == b.total_cycles
+        assert a.conflict_cycles == b.conflict_cycles
+
+    @given(product_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded(self, products):
+        """Cycles never exceed the task count (>= 1 task per cycle) and
+        never beat the capacity bound."""
+        tms = TileMultiplyScheduler(UniSTCConfig())
+        outcome = tms.schedule(products)
+        n_tasks = int((products > 0).sum())
+        total = int(products.sum())
+        if n_tasks:
+            assert -(-total // 64) <= outcome.total_cycles <= n_tasks
+
+
+class TestEngineWeightProperties:
+    @given(st.integers(1, 9), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_weight_linearity(self, weight, seed):
+        from repro.arch.tasks import T1Task
+
+        base = make_block_task(0.3, 0.3, seed)
+        weighted = T1Task(base.a_bits, base.b_bits, n=base.n, weight=weight)
+        uni = UniSTC()
+        clear_cache()
+        single = simulate_tasks(uni, [base])
+        clear_cache()
+        many = simulate_tasks(uni, [weighted])
+        assert many.cycles == weight * single.cycles
+        assert many.products == weight * single.products
+        assert many.util_hist.cycles == weight * single.util_hist.cycles

@@ -1,0 +1,113 @@
+"""Edge cases across subsystems: degenerate matrices, extreme configs."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import FP16, UniSTCConfig
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, RmSTC
+from repro.formats import BBCMatrix, COOMatrix
+from repro.kernels import bbc_kernels
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_kernel
+from repro.sim.parallel import simulate_parallel
+
+
+class TestDegenerateMatrices:
+    def test_empty_matrix_all_kernels(self):
+        empty = BBCMatrix.from_coo(COOMatrix((32, 32), [], [], []))
+        for kernel in ("spmv", "spmm", "spgemm"):
+            report = simulate_kernel(kernel, empty, UniSTC())
+            assert report.cycles == 0
+            assert report.t1_tasks == 0
+
+    def test_single_element_matrix(self):
+        one = BBCMatrix.from_coo(COOMatrix((1, 1), [0], [0], [2.0]))
+        assert np.allclose(bbc_kernels.spmv(one, np.asarray([3.0])), [6.0])
+        report = simulate_kernel("spgemm", one, UniSTC())
+        assert report.products == 1
+
+    def test_single_row_matrix(self):
+        dense = np.zeros((1, 40))
+        dense[0, ::3] = 1.0
+        bbc = BBCMatrix.from_dense(dense)
+        x = np.arange(40, dtype=np.float64)
+        assert np.allclose(bbc_kernels.spmv(bbc, x), dense @ x)
+        report = simulate_kernel("spmv", bbc, UniSTC())
+        assert report.products == int((dense != 0).sum())
+
+    def test_single_column_matrix(self):
+        dense = np.zeros((40, 1))
+        dense[::2, 0] = 1.0
+        bbc = BBCMatrix.from_dense(dense)
+        report = simulate_kernel("spmv", bbc, UniSTC())
+        assert report.products == 20
+
+    def test_diagonal_matrix_spgemm(self):
+        diag = BBCMatrix.from_dense(np.diag(np.arange(1.0, 33.0)))
+        result = bbc_kernels.spgemm(diag, diag)
+        assert np.allclose(result.to_dense(), np.diag(np.arange(1.0, 33.0) ** 2))
+        report = simulate_kernel("spgemm", diag, UniSTC())
+        assert report.products == 32
+
+    def test_fully_dense_matrix(self):
+        dense = BBCMatrix.from_dense(np.ones((32, 32)))
+        report = simulate_kernel("spgemm", dense, UniSTC())
+        # 2x2 block grid: 8 block-pair tasks x 64 cycles each.
+        assert report.cycles == 8 * 64
+        assert report.mean_utilisation == pytest.approx(1.0)
+
+
+class TestExtremeOperands:
+    def test_spmspv_with_fully_dense_x(self, banded_bbc):
+        x = SparseVector.from_dense(np.ones(banded_bbc.shape[1]))
+        sparse_report = simulate_kernel("spmspv", banded_bbc, UniSTC(), x=x)
+        dense_report = simulate_kernel("spmv", banded_bbc, UniSTC())
+        assert sparse_report.cycles == dense_report.cycles
+
+    def test_spmspv_single_entry_x(self, banded_bbc):
+        x = SparseVector(banded_bbc.shape[1], [0], [1.0])
+        report = simulate_kernel("spmspv", banded_bbc, UniSTC(), x=x)
+        full = simulate_kernel("spmv", banded_bbc, UniSTC())
+        assert report.cycles < full.cycles
+
+    def test_spmm_single_column(self, banded_bbc):
+        report = simulate_kernel("spmm", banded_bbc, UniSTC(), b_cols=1)
+        spmv = simulate_kernel("spmv", banded_bbc, UniSTC())
+        assert report.products == spmv.products
+
+    def test_spmm_huge_width_weights(self, banded_bbc):
+        report = simulate_kernel("spmm", banded_bbc, UniSTC(), b_cols=1024)
+        small = simulate_kernel("spmm", banded_bbc, UniSTC(), b_cols=16)
+        assert report.cycles == 64 * small.cycles
+
+
+class TestExtremeConfigs:
+    def test_one_dpg(self, banded_bbc):
+        uni1 = UniSTC(UniSTCConfig(num_dpgs=1, tile_queue_depth=2))
+        uni8 = UniSTC()
+        r1 = simulate_kernel("spgemm", banded_bbc, uni1)
+        r8 = simulate_kernel("spgemm", banded_bbc, uni8)
+        assert r1.products == r8.products
+        assert r1.cycles >= r8.cycles
+
+    def test_fp16_conserves_products(self, banded_bbc):
+        uni16 = UniSTC(UniSTCConfig(precision=FP16))
+        uni64 = UniSTC()
+        r16 = simulate_kernel("spgemm", banded_bbc, uni16)
+        r64 = simulate_kernel("spgemm", banded_bbc, uni64)
+        assert r16.products == r64.products
+        assert r16.cycles <= r64.cycles
+
+    def test_parallel_more_cores_than_rows(self, banded_bbc):
+        par = simulate_parallel("spmv", banded_bbc, UniSTC,
+                                n_cores=4 * banded_bbc.block_rows)
+        serial = simulate_kernel("spmv", banded_bbc, UniSTC())
+        assert par.total_cycles == serial.cycles
+
+    def test_baselines_on_degenerate_vector_task(self):
+        one = BBCMatrix.from_coo(COOMatrix((16, 16), [15], [15], [1.0]))
+        for stc in (DsSTC(), RmSTC(), UniSTC()):
+            report = simulate_kernel("spmv", one, stc)
+            assert report.products == 1
+            assert report.cycles >= 1

@@ -1,0 +1,137 @@
+"""Tests for the simulation engine and reports."""
+
+import numpy as np
+import pytest
+
+from repro.arch.tasks import T1Task
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, RmSTC
+from repro.errors import SimulationError
+from repro.formats import BBCMatrix
+from repro.kernels.taskstream import spgemm_tasks
+from repro.kernels.vector import SparseVector
+from repro.sim import engine
+from repro.sim.results import ComparisonRow, SimReport, compare, geomean
+
+from tests.conftest import make_block_task
+
+
+class TestMemoisation:
+    def test_cache_grows_and_clears(self, banded_bbc, uni):
+        engine.clear_cache()
+        engine.simulate_kernel("spmv", banded_bbc, uni)
+        assert engine.cache_size() > 0
+        engine.clear_cache()
+        assert engine.cache_size() == 0
+
+    def test_cached_rerun_identical(self, banded_bbc, uni):
+        engine.clear_cache()
+        first = engine.simulate_kernel("spgemm", banded_bbc, uni)
+        second = engine.simulate_kernel("spgemm", banded_bbc, uni)
+        assert first.cycles == second.cycles
+        assert first.energy_pj == pytest.approx(second.energy_pj)
+
+    def test_models_do_not_share_entries(self, banded_bbc):
+        engine.clear_cache()
+        engine.simulate_kernel("spmv", banded_bbc, UniSTC())
+        size_one = engine.cache_size()
+        engine.simulate_kernel("spmv", banded_bbc, DsSTC())
+        assert engine.cache_size() > size_one
+
+
+class TestSimulateTasks:
+    def test_weights_scale_linearly(self, uni):
+        base = make_block_task(0.3, 0.3, 1)
+        heavy = T1Task(base.a_bits, base.b_bits, n=base.n, weight=3)
+        engine.clear_cache()
+        r1 = engine.simulate_tasks(uni, [base])
+        engine.clear_cache()
+        r3 = engine.simulate_tasks(uni, [heavy])
+        assert r3.cycles == 3 * r1.cycles
+        assert r3.products == 3 * r1.products
+        assert r3.energy_pj == pytest.approx(3 * r1.energy_pj)
+        assert r3.t1_tasks == 3
+
+    def test_empty_stream(self, uni):
+        report = engine.simulate_tasks(uni, [])
+        assert report.cycles == 0
+        assert report.t1_tasks == 0
+
+    def test_no_energy_model(self, uni):
+        report = engine.simulate_tasks(uni, [make_block_task(0.3, 0.3, 2)], energy_model=None)
+        assert report.energy_pj == 0.0
+        assert report.energy_breakdown == {}
+
+
+class TestSimulateKernel:
+    def test_spgemm_task_totals(self, banded_bbc, uni):
+        report = engine.simulate_kernel("spgemm", banded_bbc, uni)
+        tasks = list(spgemm_tasks(banded_bbc, banded_bbc))
+        assert report.t1_tasks == len(tasks)
+        assert report.products == sum(t.intermediate_products() for t in tasks)
+
+    def test_spmspv_operand_forwarded(self, banded_bbc, uni):
+        x = SparseVector(banded_bbc.shape[1], [0, 64], [1.0, 1.0])
+        report = engine.simulate_kernel("spmspv", banded_bbc, uni, x=x)
+        full = engine.simulate_kernel("spmv", banded_bbc, uni)
+        assert report.t1_tasks <= full.t1_tasks
+
+    def test_matrix_label(self, banded_bbc, uni):
+        report = engine.simulate_kernel("spmv", banded_bbc, uni, matrix="band")
+        assert report.matrix == "band"
+
+    def test_energy_breakdown_populated(self, banded_bbc, uni):
+        report = engine.simulate_kernel("spmv", banded_bbc, uni)
+        assert report.energy_pj > 0
+        assert report.energy_pj == pytest.approx(sum(report.energy_breakdown.values()))
+
+
+class TestSimReport:
+    def test_speedup_and_energy_vs(self):
+        fast = SimReport(stc="a", kernel="spmv", cycles=50, energy_pj=10.0)
+        slow = SimReport(stc="b", kernel="spmv", cycles=100, energy_pj=30.0)
+        assert fast.speedup_vs(slow) == 2.0
+        assert fast.energy_reduction_vs(slow) == 3.0
+        assert fast.energy_efficiency_vs(slow) == 6.0
+
+    def test_speedup_of_empty_rejected(self):
+        empty = SimReport(stc="a", kernel="spmv")
+        other = SimReport(stc="b", kernel="spmv", cycles=10, energy_pj=1.0)
+        with pytest.raises(SimulationError):
+            empty.speedup_vs(other)
+
+    def test_mean_utilisation(self, banded_bbc, uni):
+        report = engine.simulate_kernel("spgemm", banded_bbc, uni)
+        assert 0.0 < report.mean_utilisation <= 1.0
+
+    def test_products_per_task(self):
+        report = SimReport(stc="a", kernel="spmv", products=100, t1_tasks=4)
+        assert report.products_per_task == 25.0
+
+
+class TestGeomeanCompare:
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            geomean([])
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            geomean([1.0, 0.0])
+
+    def test_compare_row(self):
+        ours = [SimReport(stc="u", kernel="k", cycles=10, energy_pj=5.0),
+                SimReport(stc="u", kernel="k", cycles=20, energy_pj=10.0)]
+        base = [SimReport(stc="d", kernel="k", cycles=40, energy_pj=10.0),
+                SimReport(stc="d", kernel="k", cycles=20, energy_pj=20.0)]
+        row = compare(ours, base, "ds-stc")
+        assert isinstance(row, ComparisonRow)
+        assert row.max_speedup == 4.0
+        assert row.avg_speedup == pytest.approx(2.0)
+        assert row.avg_efficiency == pytest.approx(row.avg_speedup * row.avg_energy_reduction)
+
+    def test_compare_rejects_mismatch(self):
+        with pytest.raises(SimulationError):
+            compare([], [], "x")

@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "numerics OK" in out
+        assert "uni-stc" in out
+        assert "round-trip OK" in out
+
+    def test_design_space(self, capsys):
+        out = _run("design_space.py", capsys)
+        assert "selected tile size: 4" in out
+        assert "Total Overhead" in out
+
+    def test_uwmma_walkthrough(self, capsys):
+        out = _run("uwmma_walkthrough.py", capsys)
+        assert "cycle 0" in out
+        assert "UWMMA program" in out
+        assert "overlap efficiency" in out
+
+    def test_format_explorer(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.argv", ["format_explorer.py"])
+        out = _run("format_explorer.py", capsys)
+        assert "recommended format: bbc" in out
+        assert "break-even" in out
+        assert "round trips OK" in out
+
+    @pytest.mark.slow
+    def test_amg_solver(self, capsys):
+        out = _run("amg_solver.py", capsys)
+        assert "converged" in out
+        assert "speedup vs DS-STC" in out
+
+    @pytest.mark.slow
+    def test_dnn_inference(self, capsys):
+        out = _run("dnn_inference.py", capsys)
+        assert "numeric check" in out
+
+    @pytest.mark.slow
+    def test_graph_analytics(self, capsys):
+        out = _run("graph_analytics.py", capsys)
+        assert "BFS from vertex 0" in out
+        assert "two-hop" in out

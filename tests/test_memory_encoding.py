@@ -1,0 +1,141 @@
+"""Tests for the memory/roofline model and the encoding-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.unistc import UniSTC
+from repro.errors import ConfigError, ShapeError
+from repro.formats import BBCMatrix
+from repro.formats.encoding_cost import (
+    amortised_speedup,
+    break_even_invocations,
+    encoding_cost,
+)
+from repro.kernels.vector import SparseVector
+from repro.sim.engine import simulate_kernel
+from repro.sim.memory import (
+    DEFAULT_MEMORY,
+    MemoryConfig,
+    kernel_traffic_bytes,
+    memory_cycles,
+    roofline,
+)
+from repro.workloads.synthetic import banded, random_uniform
+
+
+@pytest.fixture(scope="module")
+def bbc():
+    return BBCMatrix.from_coo(banded(160, 16, 0.4, seed=1))
+
+
+class TestTraffic:
+    def test_spmv_traffic_components(self, bbc):
+        traffic = kernel_traffic_bytes("spmv", bbc, c_writes=100)
+        assert traffic["read_a"] == bbc.storage_bytes()
+        assert traffic["read_b"] == bbc.shape[1] * 8
+        assert traffic["write_c"] == 100 * 12
+
+    def test_spmm_traffic_scales_with_b_cols(self, bbc):
+        t32 = kernel_traffic_bytes("spmm", bbc, b_cols=32)
+        t64 = kernel_traffic_bytes("spmm", bbc, b_cols=64)
+        assert t64["read_b"] == 2 * t32["read_b"]
+
+    def test_spgemm_reads_both_encodings(self, bbc):
+        traffic = kernel_traffic_bytes("spgemm", bbc)
+        assert traffic["read_b"] == bbc.storage_bytes()  # B defaults to A
+
+    def test_spmspv_reads_only_nonzeros(self, bbc):
+        x = SparseVector(bbc.shape[1], [0, 1], [1.0, 1.0])
+        traffic = kernel_traffic_bytes("spmspv", bbc, x=x)
+        assert traffic["read_b"] == 2 * 12
+
+    def test_spmspv_requires_x(self, bbc):
+        with pytest.raises(ShapeError):
+            kernel_traffic_bytes("spmspv", bbc)
+
+    def test_unknown_kernel(self, bbc):
+        with pytest.raises(ShapeError):
+            kernel_traffic_bytes("gemm", bbc)
+
+
+class TestMemoryCycles:
+    def test_bandwidth_division(self):
+        assert memory_cycles({"read_a": 100.0}, MemoryConfig(bytes_per_cycle=10)) == 10
+
+    def test_minimum_one_cycle(self):
+        assert memory_cycles({"read_a": 0.0}) == 1
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(bytes_per_cycle=0)
+
+
+class TestRoofline:
+    def test_spmv_is_memory_bound(self, bbc):
+        """Classic result: SpMV streams the matrix once per use."""
+        report = simulate_kernel("spmv", bbc, UniSTC())
+        roof = roofline(report, bbc)
+        assert roof.bound == "memory"
+        assert roof.effective_cycles >= report.cycles
+
+    def test_dense_spgemm_compute_bound_at_high_bandwidth(self):
+        """SpGEMM's arithmetic intensity grows with density; with a
+        bandwidth-rich configuration a dense product is compute-bound
+        (small problems at the default 2.5 B/cycle stay memory-bound —
+        the classic roofline crossover)."""
+        dense = BBCMatrix.from_coo(random_uniform(96, 96, 0.9, seed=2))
+        report = simulate_kernel("spgemm", dense, UniSTC())
+        roof = roofline(report, dense, config=MemoryConfig(bytes_per_cycle=32))
+        assert roof.bound == "compute"
+        default_roof = roofline(report, dense)
+        assert default_roof.memory_cycles > roof.memory_cycles
+
+    def test_higher_bandwidth_shifts_bound(self, bbc):
+        report = simulate_kernel("spgemm", bbc, UniSTC())
+        slow = roofline(report, bbc, config=MemoryConfig(bytes_per_cycle=0.01))
+        fast = roofline(report, bbc, config=MemoryConfig(bytes_per_cycle=1e9))
+        assert slow.bound == "memory"
+        assert fast.bound == "compute"
+        assert fast.effective_cycles == report.cycles
+
+    def test_arithmetic_intensity_positive(self, bbc):
+        report = simulate_kernel("spmv", bbc, UniSTC())
+        assert roofline(report, bbc).arithmetic_intensity > 0
+
+
+class TestEncodingCost:
+    def test_spmv_equivalents_order_of_magnitude(self, bbc):
+        """The paper: conversion ~ a few hundred SpMV operations... our
+        model lands in the single-to-tens range per the op-count ratio
+        (their figure includes memory-system effects)."""
+        cost = encoding_cost(BBCMatrix.from_coo(banded(256, 24, 0.3, seed=3)).to_coo())
+        assert 2 < cost.spmv_equivalents < 50
+
+    def test_cost_scales_superlinearly(self):
+        small = encoding_cost(banded(64, 8, 0.5, seed=1))
+        large = encoding_cost(banded(512, 8, 0.5, seed=1))
+        assert large.encode_ops > 8 * small.encode_ops
+
+    def test_break_even_finite_when_saving(self):
+        cost = encoding_cost(banded(128, 8, 0.5, seed=1))
+        invocations = break_even_invocations(cost, 1000.0, 400.0)
+        assert 0 < invocations < float("inf")
+
+    def test_break_even_infinite_without_saving(self):
+        cost = encoding_cost(banded(128, 8, 0.5, seed=1))
+        assert break_even_invocations(cost, 400.0, 400.0) == float("inf")
+
+    def test_amortised_speedup_approaches_raw(self):
+        """With many invocations the encoding cost vanishes (§VI-B)."""
+        cost = encoding_cost(banded(128, 8, 0.5, seed=1))
+        few = amortised_speedup(cost, 1000.0, 400.0, invocations=2)
+        many = amortised_speedup(cost, 1000.0, 400.0, invocations=10_000)
+        assert few < many
+        assert many == pytest.approx(1000.0 / 400.0, rel=0.01)
+
+    def test_rejects_bad_inputs(self):
+        cost = encoding_cost(banded(64, 8, 0.5, seed=1))
+        with pytest.raises(ConfigError):
+            break_even_invocations(cost, 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            amortised_speedup(cost, 10.0, 5.0, invocations=0)

@@ -1,0 +1,28 @@
+"""Regression test: output-nnz counting must not wrap on dense rows."""
+
+import numpy as np
+
+from repro.formats import BBCMatrix
+from repro.sim.memory import spgemm_output_nnz
+
+
+def test_output_nnz_no_uint8_wrap():
+    """A 512-wide dense row yields inner products of 512 matched terms;
+    a uint8 accumulator would wrap to 0 and drop the whole row."""
+    n = 512
+    dense = np.zeros((n, n))
+    dense[0, :] = 1.0   # one dense row
+    dense[:, 0] = 1.0   # one dense column
+    bbc = BBCMatrix.from_dense(dense)
+    # C = A @ A: row 0 = dense-row x dense-col structure -> fully dense
+    # row; inner product at (0, 0) matches in n terms (multiple of 256).
+    expected = int(np.count_nonzero((dense != 0).astype(np.int64) @ (dense != 0).astype(np.int64)))
+    assert spgemm_output_nnz(bbc) == expected
+    assert spgemm_output_nnz(bbc) >= n  # the dense row survives
+
+
+def test_output_nnz_exact_small(rng):
+    da = rng.random((40, 40)) * (rng.random((40, 40)) < 0.2)
+    a = BBCMatrix.from_dense(da)
+    expected = int(np.count_nonzero((da != 0).astype(np.int64) @ (da != 0).astype(np.int64)))
+    assert spgemm_output_nnz(a) == expected

@@ -1,0 +1,138 @@
+"""Tests for PageRank and the .mtx collection loader."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import pagerank, transition_matrix
+from repro.apps.trace import KernelTrace
+from repro.errors import ConvergenceError, FormatError, ShapeError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.workloads.collection import collection_summary, discover, load_collection
+from repro.workloads.matrixmarket import write_mtx
+from repro.workloads.structured import rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return CSRMatrix.from_coo(rmat(6, edge_factor=6, seed=2))
+
+
+class TestTransitionMatrix:
+    def test_columns_stochastic(self, graph):
+        p = transition_matrix(graph)
+        col_sums = p.to_dense().sum(axis=0)
+        assert np.allclose(col_sums, 1.0)
+
+    def test_dangling_handled(self):
+        # Vertex 2 has no outgoing edges.
+        adj = CSRMatrix.from_coo(COOMatrix((3, 3), [0, 1], [1, 0], [1.0, 1.0]))
+        p = transition_matrix(adj)
+        assert np.allclose(p.to_dense().sum(axis=0), 1.0)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            transition_matrix(CSRMatrix.empty((3, 4)))
+
+
+class TestPageRank:
+    def test_converges(self, graph):
+        result = pagerank(graph)
+        assert result.converged
+        assert result.ranks.sum() == pytest.approx(1.0)
+        assert (result.ranks > 0).all()
+
+    def test_matches_dense_power_iteration(self, graph):
+        result = pagerank(graph, damping=0.85)
+        p = transition_matrix(graph).to_dense()
+        n = p.shape[0]
+        ranks = np.full(n, 1.0 / n)
+        for _ in range(result.iterations):
+            ranks = 0.85 * p @ ranks + 0.15 / n
+        assert np.allclose(result.ranks, ranks)
+
+    def test_deltas_decrease(self, graph):
+        result = pagerank(graph)
+        assert result.deltas[-1] < result.deltas[0]
+
+    def test_hub_outranks_leaf(self):
+        # A star: everything points at vertex 0.
+        n = 8
+        adj = CSRMatrix.from_coo(
+            COOMatrix((n, n), list(range(1, n)), [0] * (n - 1), [1.0] * (n - 1))
+        )
+        result = pagerank(adj)
+        assert result.top(1) == [0]
+
+    def test_trace_records_spmv(self, graph):
+        trace = KernelTrace()
+        result = pagerank(graph, trace=trace, max_iterations=10)
+        assert trace.kernel_counts()["spmv"] == result.iterations
+
+    def test_rejects_bad_damping(self, graph):
+        with pytest.raises(ConvergenceError):
+            pagerank(graph, damping=1.5)
+
+    def test_iteration_budget(self, graph):
+        result = pagerank(graph, tol=0.0, max_iterations=4)
+        assert result.iterations == 4
+        assert not result.converged
+
+
+class TestCollection:
+    @pytest.fixture
+    def collection_dir(self, tmp_path, rng):
+        for i, nnz_target in enumerate((10, 50, 400)):
+            n = 24 + 8 * i
+            dense = rng.random((n, n)) * (rng.random((n, n)) < nnz_target / (n * n))
+            write_mtx(tmp_path / f"matrix_{i}.mtx", COOMatrix.from_dense(dense))
+        (tmp_path / "sub").mkdir()
+        write_mtx(tmp_path / "sub" / "nested.mtx", COOMatrix((4, 4), [0], [0], [1.0]))
+        (tmp_path / "notes.txt").write_text("not a matrix")
+        return tmp_path
+
+    def test_discover_finds_mtx_recursively(self, collection_dir):
+        paths = discover(collection_dir)
+        assert len(paths) == 4
+        assert all(p.suffix == ".mtx" for p in paths)
+
+    def test_discover_non_recursive(self, collection_dir):
+        assert len(discover(collection_dir, recursive=False)) == 3
+
+    def test_discover_rejects_file(self, collection_dir):
+        with pytest.raises(FormatError):
+            discover(collection_dir / "notes.txt")
+
+    def test_load_all(self, collection_dir):
+        loaded = dict(load_collection(collection_dir))
+        assert len(loaded) == 4
+        assert all(m.nnz >= 1 for m in loaded.values())
+
+    def test_load_limit(self, collection_dir):
+        assert len(list(load_collection(collection_dir, limit=2))) == 2
+
+    def test_max_nnz_filter(self, collection_dir):
+        loaded = dict(load_collection(collection_dir, max_nnz=60))
+        assert all(m.nnz <= 60 for m in loaded.values())
+
+    def test_skip_errors(self, collection_dir):
+        (collection_dir / "broken.mtx").write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(FormatError):
+            list(load_collection(collection_dir))
+        loaded = list(load_collection(collection_dir, skip_errors=True))
+        assert len(loaded) == 4
+
+    def test_summary(self, collection_dir):
+        summary = collection_summary(collection_dir)
+        assert len(summary) == 4
+        name, shape, nnz = summary[0]
+        assert isinstance(name, str) and nnz > 0
+
+    def test_collection_feeds_simulator(self, collection_dir):
+        from repro.arch.unistc import UniSTC
+        from repro.formats.bbc import BBCMatrix
+        from repro.sim.engine import simulate_kernel
+
+        for name, matrix in load_collection(collection_dir, limit=1):
+            report = simulate_kernel("spmv", BBCMatrix.from_coo(matrix), UniSTC())
+            assert report.cycles >= 1

@@ -1,0 +1,134 @@
+"""Tests for the pipeline model, UWMMA ISA and the Table IV trade-offs."""
+
+import pytest
+
+from repro.arch.config import UniSTCConfig
+from repro.arch.isa import (
+    PTX_MAX_FP64_OPERANDS,
+    UWMMA,
+    instruction_sequence,
+    synchronous_cycles,
+    validate_register_pressure,
+)
+from repro.arch.pipeline import PIPELINE_STAGES, CoreState, UniSTCPipeline
+from repro.arch.tradeoffs import best_tile_size, evaluate_tile_size, table_iv
+from repro.errors import SimulationError
+
+
+class TestPipeline:
+    @pytest.fixture
+    def pipe(self):
+        return UniSTCPipeline(UniSTCConfig())
+
+    def test_three_stages(self):
+        assert PIPELINE_STAGES == 3
+
+    def test_latency_adds_fill(self, pipe):
+        assert pipe.latency_cycles(10) == 12
+
+    def test_latency_of_empty_task(self, pipe):
+        assert pipe.latency_cycles(0) == 1
+
+    def test_latency_rejects_negative(self, pipe):
+        with pytest.raises(SimulationError):
+            pipe.latency_cycles(-1)
+
+    def test_throughput_has_no_fill(self, pipe):
+        assert pipe.throughput_cycles(10) == 10
+        assert pipe.throughput_cycles(0) == 1
+
+    def test_lifecycle_states(self, pipe):
+        trace = pipe.lifecycle(exec_cycles=3)
+        assert trace.states[0] == CoreState.IDLE
+        assert CoreState.BUSY in trace.states
+        assert CoreState.READY in trace.states
+        assert trace.states[-1] == CoreState.IDLE
+
+    def test_lifecycle_stalls_while_busy(self, pipe):
+        trace = pipe.lifecycle(exec_cycles=2, queue_fill_cycles=3)
+        assert trace.stall_cycles == 3
+
+
+class TestISA:
+    def test_table_v_opcodes_present(self):
+        for opcode in (
+            "stc.load.meta_mv", "stc.load.meta_mm", "stc.load.a",
+            "stc.task_gen.mv", "stc.task_gen.mm",
+            "stc.numeric.mv", "stc.numeric.mm",
+        ):
+            assert opcode in UWMMA
+
+    def test_table_v_cycle_bounds(self):
+        assert UWMMA["stc.load.a"].min_cycles == 2
+        assert UWMMA["stc.task_gen.mv"].max_cycles == 4
+        assert UWMMA["stc.task_gen.mm"].max_cycles == 8
+        assert UWMMA["stc.numeric.mv"].max_cycles == 8
+        assert UWMMA["stc.numeric.mm"].max_cycles == 64
+
+    def test_cycles_clamped(self):
+        inst = UWMMA["stc.numeric.mm"]
+        assert inst.cycles_for(0) == 1
+        assert inst.cycles_for(100) == 64
+        assert inst.cycles_for(17) == 17
+
+    def test_sequence_vector_kernel(self):
+        seq = instruction_sequence("spmv", exec_cycles=4)
+        opcodes = [op for op, _ in seq]
+        assert "stc.load.meta_mv" in opcodes
+        assert "stc.numeric.mv" in opcodes
+        assert not any("mm" in op.rsplit(".", 1)[-1] for op in opcodes)
+
+    def test_sequence_matrix_kernel(self):
+        seq = instruction_sequence("spgemm", exec_cycles=40)
+        assert ("stc.numeric.mm", 40) in seq
+
+    def test_sequence_rejects_unknown(self):
+        with pytest.raises(SimulationError):
+            instruction_sequence("gemv", 1)
+
+    def test_task_gen_is_asynchronous(self):
+        seq = instruction_sequence("spmm", exec_cycles=8)
+        sync = synchronous_cycles(seq)
+        total = sum(c for _, c in seq)
+        assert sync < total
+
+    def test_register_pressure(self):
+        assert validate_register_pressure()
+        assert PTX_MAX_FP64_OPERANDS == 20
+
+
+class TestTableIV:
+    def test_rows(self):
+        rows = table_iv()
+        assert [r.tile for r in rows] == [2, 4, 8]
+
+    def test_2x2x2_needs_too_many_dpgs(self):
+        row = evaluate_tile_size(2)
+        assert row.dpgs_to_saturate == (32, 64)
+        assert not row.dpg_count_reasonable
+
+    def test_4x4x4_is_balanced(self):
+        row = evaluate_tile_size(4)
+        assert row.cycles_per_t3 == 1
+        assert row.dpgs_to_saturate == (8, 16)
+        assert row.dpg_count_reasonable
+        assert row.meets_timing
+
+    def test_8x8x8_misses_timing(self):
+        row = evaluate_tile_size(8)
+        assert row.cycles_per_t3 >= 2
+        assert row.dpgs_to_saturate == (2, 4)
+        assert not row.meets_timing
+
+    def test_network_scales(self):
+        assert evaluate_tile_size(2).nonzero_network_scale == (4, 4)
+        assert evaluate_tile_size(4).nonzero_network_scale == (16, 16)
+        assert evaluate_tile_size(8).nonzero_network_scale == (64, 64)
+
+    def test_best_is_four(self):
+        """Table IV's conclusion: 4x4x4 wins at the 64-MAC budget."""
+        assert best_tile_size(64) == 4
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            evaluate_tile_size(3)

@@ -1,0 +1,107 @@
+"""FP32/FP16 behaviour of every architecture (the Table VI scaling)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import FP16, FP32, FP64, UniSTCConfig
+from repro.arch.tasks import T1Task
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, Gamma, NvDTC, RmSTC, Sigma, Trapezoid
+
+from tests.conftest import make_block_task
+
+DENSE = T1Task.from_bitmaps(np.ones((16, 16), bool), np.ones((16, 16), bool))
+DENSE_VEC = T1Task.from_bitmaps(np.ones((16, 16), bool), np.ones((16, 1), bool))
+
+
+def _fp32_models():
+    return [
+        NvDTC(FP32), Gamma(FP32), Sigma(FP32), Trapezoid(FP32),
+        DsSTC(FP32), RmSTC(FP32), UniSTC(UniSTCConfig(precision=FP32)),
+    ]
+
+
+class TestFP32:
+    @pytest.mark.parametrize("model_idx", range(7))
+    def test_dense_block_halves_cycles(self, model_idx):
+        stc = _fp32_models()[model_idx]
+        result = stc.simulate_block(DENSE)
+        assert result.cycles == 32
+        assert result.products == 4096
+        assert result.util_hist.fractions()[3] == 1.0
+
+    @pytest.mark.parametrize("model_idx", range(7))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_products_conserved(self, model_idx, seed):
+        stc = _fp32_models()[model_idx]
+        task = make_block_task(0.3, 0.3, seed)
+        assert stc.simulate_block(task).products == task.intermediate_products()
+
+    @pytest.mark.parametrize("model_idx", range(7))
+    def test_fp32_never_slower_than_fp64(self, model_idx):
+        fp32 = _fp32_models()[model_idx]
+        fp64_models = [
+            NvDTC(FP64), Gamma(FP64), Sigma(FP64), Trapezoid(FP64),
+            DsSTC(FP64), RmSTC(FP64), UniSTC(),
+        ]
+        fp64 = fp64_models[model_idx]
+        for seed in range(4):
+            task = make_block_task(0.4, 0.4, seed)
+            assert fp32.simulate_block(task).cycles <= fp64.simulate_block(task).cycles
+
+    def test_ds_stc_spmv_cap_shrinks(self):
+        """At FP32 the outer product's vector cap drops to 8/128."""
+        ds = DsSTC(FP32)
+        result = ds.simulate_block(DENSE_VEC)
+        assert result.products / (result.cycles * 128) <= 8 / 128 + 1e-9
+
+    def test_rm_stc_spmv_cap_constant(self):
+        """RM-STC's 16x4x2 at FP32 keeps the 25% vector cap (32/128)."""
+        rm = RmSTC(FP32)
+        result = rm.simulate_block(DENSE_VEC)
+        assert result.products / (result.cycles * 128) <= 0.25 + 1e-9
+
+    def test_uni_dense_vec_fp32(self):
+        """A vector task has only 4 distinct output tiles, so the
+        accumulator-conflict rule (one writer per tile per cycle) keeps
+        the dense SpMV block at 4 cycles even with 128 MACs."""
+        uni = UniSTC(UniSTCConfig(precision=FP32))
+        result = uni.simulate_block(DENSE_VEC)
+        assert result.cycles == 4
+        no_stall = UniSTC(UniSTCConfig(precision=FP32, conflict_stall=False))
+        assert no_stall.simulate_block(DENSE_VEC).cycles == 2
+
+
+class TestFP16:
+    def test_uni_dense_block(self):
+        uni = UniSTC(UniSTCConfig(precision=FP16))
+        result = uni.simulate_block(DENSE)
+        assert result.cycles == 16
+        assert result.util_hist.fractions()[3] == 1.0
+
+    def test_mac_budget_ladder(self):
+        """The §IV-A scaling: 64 -> 128 -> 256 MACs."""
+        cycles = {}
+        for precision in (FP64, FP32, FP16):
+            uni = UniSTC(UniSTCConfig(precision=precision))
+            cycles[precision.macs] = uni.simulate_block(DENSE).cycles
+        assert cycles[64] == 2 * cycles[128] == 4 * cycles[256]
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_main_module_importable(self):
+        import importlib.util
+
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None

@@ -1,0 +1,151 @@
+"""Golden-kernel tests: CSR reference kernels against dense numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import CSRMatrix
+from repro.kernels import reference as ref
+from repro.kernels.vector import SparseVector
+
+
+def _random_sparse(rng, m, n, density=0.3):
+    dense = rng.random((m, n)) * (rng.random((m, n)) < density)
+    return dense, CSRMatrix.from_dense(dense)
+
+
+class TestSpMV:
+    def test_matches_numpy(self, rng):
+        dense, csr = _random_sparse(rng, 30, 40)
+        x = rng.random(40)
+        assert np.allclose(ref.spmv(csr, x), dense @ x)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.empty((3, 4))
+        assert ref.spmv(csr, np.ones(4)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_shape_mismatch(self, small_csr):
+        with pytest.raises(ShapeError):
+            ref.spmv(small_csr, np.ones(small_csr.shape[1] + 1))
+
+    def test_identity(self):
+        x = np.arange(5, dtype=float)
+        assert np.allclose(ref.spmv(CSRMatrix.identity(5), x), x)
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_random(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        dense, csr = _random_sparse(rng, m, n)
+        x = rng.standard_normal(n)
+        assert np.allclose(ref.spmv(csr, x), dense @ x)
+
+
+class TestSpMSpV:
+    def test_matches_dense_product(self, rng):
+        dense, csr = _random_sparse(rng, 25, 30)
+        xs = rng.random(30) * (rng.random(30) < 0.5)
+        result = ref.spmspv(csr, SparseVector.from_dense(xs))
+        assert np.allclose(result.to_dense(), dense @ xs)
+
+    def test_empty_vector(self, small_csr):
+        result = ref.spmspv(small_csr, SparseVector(small_csr.shape[1], [], []))
+        assert result.nnz == 0
+
+    def test_length_mismatch(self, small_csr):
+        with pytest.raises(ShapeError):
+            ref.spmspv(small_csr, SparseVector(small_csr.shape[1] + 3, [], []))
+
+    def test_output_is_sparse(self, rng):
+        dense, csr = _random_sparse(rng, 40, 40, density=0.05)
+        xs = SparseVector(40, [0], [1.0])
+        out = ref.spmspv(csr, xs)
+        assert out.nnz <= 40
+        assert np.allclose(out.to_dense(), dense[:, 0])
+
+    def test_agrees_with_spmv(self, rng):
+        dense, csr = _random_sparse(rng, 20, 20)
+        xs = rng.random(20) * (rng.random(20) < 0.5)
+        assert np.allclose(
+            ref.spmspv(csr, SparseVector.from_dense(xs)).to_dense(),
+            ref.spmv(csr, xs),
+        )
+
+
+class TestSpMM:
+    def test_matches_numpy(self, rng):
+        dense, csr = _random_sparse(rng, 20, 30)
+        b = rng.random((30, 7))
+        assert np.allclose(ref.spmm(csr, b), dense @ b)
+
+    def test_shape_mismatch(self, small_csr):
+        with pytest.raises(ShapeError):
+            ref.spmm(small_csr, np.ones((small_csr.shape[1] + 1, 4)))
+
+    def test_single_column_equals_spmv(self, rng):
+        dense, csr = _random_sparse(rng, 15, 15)
+        x = rng.random(15)
+        assert np.allclose(ref.spmm(csr, x[:, None])[:, 0], ref.spmv(csr, x))
+
+    def test_paper_width_64(self, rng):
+        dense, csr = _random_sparse(rng, 20, 20)
+        b = rng.random((20, 64))
+        assert np.allclose(ref.spmm(csr, b), dense @ b)
+
+
+class TestSpGEMM:
+    def test_matches_numpy(self, rng):
+        da, a = _random_sparse(rng, 20, 25)
+        db, b = _random_sparse(rng, 25, 15)
+        assert np.allclose(ref.spgemm(a, b).to_dense(), da @ db)
+
+    def test_square_self_product(self, rng):
+        da, a = _random_sparse(rng, 20, 20, density=0.2)
+        assert np.allclose(ref.spgemm(a, a).to_dense(), da @ da)
+
+    def test_inner_dim_mismatch(self, small_csr):
+        with pytest.raises(ShapeError):
+            ref.spgemm(small_csr, small_csr)  # 40x56 @ 40x56
+
+    def test_identity_is_neutral(self, rng):
+        _, a = _random_sparse(rng, 12, 12)
+        eye = CSRMatrix.identity(12)
+        assert ref.spgemm(a, eye) == a
+        assert ref.spgemm(eye, a) == a
+
+    def test_empty_product(self):
+        a = CSRMatrix.empty((5, 5))
+        assert ref.spgemm(a, CSRMatrix.identity(5)).nnz == 0
+
+    def test_numerical_cancellation_dropped(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, -1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0], [1.0]]))
+        assert ref.spgemm(a, b).nnz == 0
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_random(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        da, a = _random_sparse(rng, m, k)
+        db, b = _random_sparse(rng, k, n)
+        assert np.allclose(ref.spgemm(a, b).to_dense(), da @ db)
+
+
+class TestAdd:
+    def test_matches_numpy(self, rng):
+        da, a = _random_sparse(rng, 10, 12)
+        db, b = _random_sparse(rng, 10, 12)
+        assert np.allclose(ref.add(a, b).to_dense(), da + db)
+
+    def test_scaled_add(self, rng):
+        da, a = _random_sparse(rng, 8, 8)
+        db, b = _random_sparse(rng, 8, 8)
+        assert np.allclose(ref.add(a, b, 2.0, -0.5).to_dense(), 2 * da - 0.5 * db)
+
+    def test_shape_mismatch(self, small_csr):
+        with pytest.raises(ShapeError):
+            ref.add(small_csr, CSRMatrix.empty((1, 1)))
+
+    def test_self_cancellation(self, small_csr):
+        assert ref.add(small_csr, small_csr, 1.0, -1.0).nnz == 0

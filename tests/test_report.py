@@ -1,0 +1,99 @@
+"""Tests for the reproduction-report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    PAPER_VALUES,
+    ReportRow,
+    build_rows,
+    generate_report,
+    render_markdown,
+)
+from repro.cli import main
+from repro.errors import FormatError
+
+
+def _write_run(path, metrics):
+    payload = {"benchmarks": [
+        {"name": name, "extra_info": info} for name, info in metrics.items()
+    ]}
+    path.write_text(json.dumps(payload))
+
+
+class TestBuildRows:
+    def test_pairs_with_paper_values(self, tmp_path):
+        _write_run(tmp_path / "run.json", {
+            "test_fig18_io_energy": {"write_c_gap": 7.0},
+            "test_fig99_custom": {"foo": 1.0},
+        })
+        rows = build_rows(tmp_path / "run.json")
+        by_metric = {(r.benchmark, r.metric): r for r in rows}
+        paired = by_metric[("test_fig18_io_energy", "write_c_gap")]
+        assert paired.paper == 6.5
+        assert paired.ratio == pytest.approx(7.0 / 6.5)
+        unpaired = by_metric[("test_fig99_custom", "foo")]
+        assert unpaired.paper is None
+        assert unpaired.ratio is None
+
+    def test_rejects_bad_json(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{}")
+        with pytest.raises(FormatError):
+            build_rows(tmp_path / "bad.json")
+
+
+class TestRenderMarkdown:
+    def test_sections(self):
+        rows = [
+            ReportRow("b1", "m1", 2.0, 1.0),
+            ReportRow("b2", "m2", 3.0, None),
+        ]
+        md = render_markdown(rows)
+        assert "## Paper vs measured" in md
+        assert "## Measured (no single published value)" in md
+        assert "| b1 | m1 | 1 | 2 | 2.00 |" in md
+        assert "1/1 compared metrics land within 2x" in md
+
+    def test_within_2x_count(self):
+        rows = [
+            ReportRow("b", "near", 1.1, 1.0),
+            ReportRow("b", "far", 5.0, 1.0),
+        ]
+        md = render_markdown(rows)
+        assert "1/2 compared metrics" in md
+
+    def test_empty_rows(self):
+        md = render_markdown([])
+        assert md.startswith("# Reproduction report")
+
+
+class TestPaperValueCatalogue:
+    def test_headline_entries_present(self):
+        assert PAPER_VALUES["test_fig21_amg_speedup"]["uni_spmv"] == 4.84
+        assert PAPER_VALUES["test_tab09_area"]["total_mm2"] == 0.0425
+
+    def test_catalogue_metrics_exist_in_benchmarks(self):
+        """Every catalogued benchmark name must correspond to a real
+        benchmark file target (guards against silent renames)."""
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        source = "\n".join(p.read_text() for p in bench_dir.glob("test_*.py"))
+        for bench in PAPER_VALUES:
+            assert f"def {bench.split('[')[0]}(" in source, bench
+
+
+class TestCLIReport:
+    def test_report_command(self, tmp_path, capsys):
+        _write_run(tmp_path / "run.json", {
+            "test_fig18_io_energy": {"write_c_gap": 6.9},
+        })
+        assert main(["report", str(tmp_path / "run.json")]) == 0
+        out = capsys.readouterr().out
+        assert "Paper vs measured" in out
+        assert "write_c_gap" in out
+
+    def test_generate_report_convenience(self, tmp_path):
+        _write_run(tmp_path / "run.json", {"x": {"y": 1.0}})
+        assert "Reproduction report" in generate_report(tmp_path / "run.json")

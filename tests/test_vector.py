@@ -1,0 +1,92 @@
+"""Tests for the sparse vector container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.kernels.vector import SparseVector, dense_segment_mask
+
+
+class TestConstruction:
+    def test_empty(self):
+        v = SparseVector(10, [], [])
+        assert v.nnz == 0
+        assert v.to_dense().tolist() == [0.0] * 10
+
+    def test_basic(self):
+        v = SparseVector(5, [3, 1], [2.0, 1.0])
+        assert v.indices.tolist() == [1, 3]
+        assert v.values.tolist() == [1.0, 2.0]
+
+    def test_duplicates_summed(self):
+        v = SparseVector(5, [2, 2], [1.0, 3.0])
+        assert v.nnz == 1
+        assert v.to_dense()[2] == 4.0
+
+    def test_cancelling_duplicates_dropped(self):
+        v = SparseVector(5, [2, 2], [1.0, -1.0])
+        assert v.nnz == 0
+
+    def test_out_of_bounds(self):
+        with pytest.raises(FormatError):
+            SparseVector(3, [3], [1.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(FormatError):
+            SparseVector(3, [0, 1], [1.0])
+
+    def test_density(self):
+        assert SparseVector(4, [0], [1.0]).density() == 0.25
+
+    def test_density_zero_length(self):
+        assert SparseVector(0, [], []).density() == 0.0
+
+
+class TestDenseRoundtrip:
+    @given(st.integers(1, 100), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.random(n) * (rng.random(n) < 0.4)
+        assert np.allclose(SparseVector.from_dense(dense).to_dense(), dense)
+
+    def test_from_dense_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            SparseVector.from_dense(np.ones((2, 2)))
+
+
+class TestSegments:
+    def test_segment_mask(self):
+        v = SparseVector(40, [0, 17, 39], [1.0, 2.0, 3.0])
+        assert v.segment_mask(0)[0]
+        assert v.segment_mask(1)[1]       # index 17 -> segment 1, offset 1
+        assert v.segment_mask(2)[7]       # index 39 -> segment 2, offset 7
+        assert not v.segment_mask(1)[0]
+
+    def test_segment_values(self):
+        v = SparseVector(40, [17], [2.5])
+        seg = v.segment_values(1)
+        assert seg[1] == 2.5
+        assert seg.sum() == 2.5
+
+    def test_nonempty_segments(self):
+        v = SparseVector(64, [0, 1, 50], [1.0, 1.0, 1.0])
+        assert v.nonempty_segments().tolist() == [0, 3]
+
+    def test_segments_reassemble(self):
+        rng = np.random.default_rng(7)
+        dense = rng.random(70) * (rng.random(70) < 0.5)
+        v = SparseVector.from_dense(dense)
+        rebuilt = np.concatenate([v.segment_values(s) for s in range(5)])
+        assert np.allclose(rebuilt[:70], dense)
+
+    def test_dense_segment_mask_full(self):
+        assert dense_segment_mask(64, 1).all()
+
+    def test_dense_segment_mask_padding(self):
+        mask = dense_segment_mask(20, 1)
+        assert mask[:4].all() and not mask[4:].any()
+
+    def test_dense_segment_mask_past_end(self):
+        assert not dense_segment_mask(16, 2).any()
