@@ -11,6 +11,8 @@ The package is organised in layers:
 - :mod:`repro.baselines` — NV-DTC, DS-STC, RM-STC, GAMMA, SIGMA and
   Trapezoid dataflow models under a common simulator interface.
 - :mod:`repro.sim` — the kernel-level simulation engine and reports.
+- :mod:`repro.resilience` — fault-tolerant sweep execution (timeouts,
+  retries, checkpoint/resume) and deterministic fault injection.
 - :mod:`repro.energy` — Sparseloop-style energy accounting and the
   CACTI-style area model (EED metric).
 - :mod:`repro.workloads` — synthetic SuiteSparse/DLMC substitutes and
@@ -27,7 +29,18 @@ Quickstart::
     print(report.cycles, report.energy_pj)
 """
 
-from repro import analysis, apps, arch, baselines, energy, formats, kernels, sim, workloads
+from repro import (
+    analysis,
+    apps,
+    arch,
+    baselines,
+    energy,
+    formats,
+    kernels,
+    resilience,
+    sim,
+    workloads,
+)
 from repro.arch import UniSTC, UniSTCConfig
 from repro.formats import BBCMatrix, COOMatrix, CSRMatrix
 from repro.kernels import SparseVector
@@ -49,6 +62,7 @@ __all__ = [
     "energy",
     "formats",
     "kernels",
+    "resilience",
     "sim",
     "simulate_kernel",
     "workloads",

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.arch.base import STCModel
-from repro.arch.config import FP32
 from repro.errors import ShapeError
 from repro.formats.bbc import BBCMatrix
 from repro.formats.csr import CSRMatrix

@@ -179,42 +179,99 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
-    """Corpus sweep: Table VIII-style Aver/Max rows per kernel."""
-    from repro.kernels.vector import SparseVector
-    from repro.sim.engine import simulate_kernel
+    """Corpus sweep: Table VIII-style Aver/Max rows per kernel.
+
+    Runs through the fault-tolerant runner: a failing case is journaled
+    and skipped rather than aborting the sweep, ``--checkpoint`` +
+    ``--resume`` continue an interrupted run without re-simulating
+    finished cases, and ``--timeout``/``--max-retries`` bound each case.
+    """
+    from repro.resilience.runner import ResilientRunner, RetryPolicy
     from repro.sim.results import compare
+    from repro.sim.sweep import Sweep
     from repro.workloads.suitesparse import corpus, iter_matrices
 
     stcs = _build_stcs(args.stc)
     if len(stcs) < 2:
         raise ReproError("corpus needs at least two STCs (target ... baseline)")
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint <path>")
     target, baselines = stcs[-1], stcs[:-1]
     specs = corpus(sizes=(128,), limit=args.limit)
+    matrices = dict(iter_matrices(specs))
     kernels = [k.strip() for k in args.kernel.split(",")]
-    per_kernel = {k: {s.name: [] for s in stcs} for k in kernels}
-    rng = np.random.default_rng(0)
-    for name, coo in iter_matrices(specs):
-        bbc = BBCMatrix.from_coo(coo)
-        for kernel in kernels:
-            kwargs = {}
-            if kernel == "spmspv":
-                dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
-                kwargs["x"] = SparseVector.from_dense(dense)
-            for stc in stcs:
-                per_kernel[kernel][stc.name].append(
-                    simulate_kernel(kernel, bbc, stc, matrix=name, **kwargs)
-                )
+    sweep = Sweep(
+        matrices=matrices,
+        stcs={s.name: (lambda s=s: s) for s in stcs},
+        kernels=kernels,
+    )
+    runner = ResilientRunner(
+        sweep,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        journal_path=args.checkpoint or None,
+        resume=args.resume,
+        cache_path=args.cache or None,
+    )
+    summary = runner.run()
+
+    by_cell = {(r.case.matrix_name, r.case.kernel, r.case.stc_name): r.report
+               for r in summary.results}
     rows = []
+    dropped = set()
     for kernel in kernels:
-        ours = per_kernel[kernel][target.name]
         for baseline in baselines:
-            row = compare(ours, per_kernel[kernel][baseline.name], baseline.name)
+            ours, bases = [], []
+            for name in matrices:
+                t_rep = by_cell.get((name, kernel, target.name))
+                b_rep = by_cell.get((name, kernel, baseline.name))
+                if t_rep is None or b_rep is None:
+                    dropped.add((name, kernel))
+                    continue
+                ours.append(t_rep)
+                bases.append(b_rep)
+            if not ours:
+                continue
+            row = compare(ours, bases, baseline.name)
             rows.append([kernel, f"vs {baseline.name}", row.avg_speedup,
                          row.avg_energy_reduction, row.avg_efficiency, row.max_efficiency])
     print(f"{target.name} over a {len(specs)}-matrix corpus:")
+    if summary.n_resumed:
+        print(f"resumed {summary.n_resumed} journaled case(s) without re-simulating")
+    if summary.n_failed:
+        taxo = ", ".join(f"{k}: {v}" for k, v in sorted(
+            summary.taxonomy_counts().items()))
+        print(f"warning: {summary.n_failed} case(s) failed ({taxo}); "
+              f"{len(dropped)} (matrix, kernel) pair(s) excluded from the averages")
     print(render_table(
         ["kernel", "baseline", "Aver P", "Aver E", "Aver ExP", "Max ExP"], rows
     ))
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection campaign: detected / masked / SDC breakdown."""
+    from repro.resilience.faults import FAULT_KINDS, run_campaign
+
+    coo = parse_matrix_spec(args.matrix)
+    kinds = ([k.strip() for k in args.kinds.split(",")] if args.kinds
+             else list(FAULT_KINDS))
+    campaign = run_campaign(
+        coo, kernel=args.kernel, trials=args.trials, seed=args.seed,
+        kinds=kinds, matrix_name=args.matrix,
+    )
+    breakdown = campaign.breakdown()
+    rows = [[kind, row["detected"], row["masked"], row["sdc"],
+             row["detected"] + row["masked"] + row["sdc"]]
+            for kind, row in ((k, breakdown[k]) for k in kinds if k in breakdown)]
+    totals = campaign.totals()
+    rows.append(["TOTAL", totals["detected"], totals["masked"], totals["sdc"],
+                 sum(totals.values())])
+    print(f"fault campaign on {args.matrix} ({args.kernel}, "
+          f"{args.trials} trials, seed {args.seed}):")
+    print(render_table(["fault kind", "detected", "masked", "sdc", "trials"], rows))
+    print(f"\ndetection coverage (detected / consequential): "
+          f"{100 * campaign.detection_coverage():.1f}%")
     return 0
 
 
@@ -281,7 +338,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--stc", default="ds-stc,rm-stc,uni-stc",
         help="comma list; the LAST entry is the target, the rest baselines",
     )
+    corpus_cmd.add_argument(
+        "--checkpoint", default="",
+        help="JSONL journal path; finished cases are appended as they complete",
+    )
+    corpus_cmd.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint, skipping journaled successes",
+    )
+    corpus_cmd.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-case wall-clock budget in seconds (0 = unlimited)",
+    )
+    corpus_cmd.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retry budget per case for transient failures",
+    )
+    corpus_cmd.add_argument(
+        "--cache", default="",
+        help="block-result cache file; corrupt files warn and rebuild cold",
+    )
     corpus_cmd.set_defaults(func=cmd_corpus)
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (detected/masked/SDC)"
+    )
+    faults.add_argument("--matrix", default="band:128:16:0.3")
+    faults.add_argument("--kernel", default="spmv", choices=["spmv", "spmm"])
+    faults.add_argument("--trials", type=int, default=33)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--kinds", default="",
+        help="comma list of fault kinds (default: all kinds, round-robin)",
+    )
+    faults.set_defaults(func=cmd_faults)
 
     paper = sub.add_parser(
         "paper", help="regenerate every paper table/figure (runs the benchmark suite)"

@@ -18,10 +18,10 @@ designs on identical task streams carries meaning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
-from repro.arch.counters import ACTIONS, Counters
+from repro.arch.counters import Counters
 from repro.arch.network import (
     MONOLITHIC_PATH,
     UNI_A_PATH,

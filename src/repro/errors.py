@@ -23,3 +23,15 @@ class SimulationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its budget."""
+
+
+class CaseTimeoutError(ReproError):
+    """A sweep case exceeded its wall-clock budget."""
+
+
+class DataCorruptionError(ReproError):
+    """Stored or in-flight data failed an integrity check."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is unreadable or inconsistent with its sweep."""

@@ -177,25 +177,110 @@ class BBCMatrix:
     # -- validation -------------------------------------------------------
 
     def _validate(self) -> None:
+        issues = self.validate()
+        if issues:
+            raise FormatError(issues[0])
+
+    def validate(self) -> list:
+        """Full structural integrity check; returns a list of issue strings.
+
+        An empty list means the encoding is self-consistent.  The checks
+        exploit BBC's built-in redundancy — the level-1/level-2 bitmap
+        popcounts must agree with the tile and value array lengths, and
+        the three pointer arrays must be monotone and mutually
+        consistent — which is what lets a fault-injection campaign
+        classify metadata corruption as *detected* rather than silent.
+        Used by :mod:`repro.resilience.faults`; guaranteed to report
+        nothing on any matrix produced by the encoders.
+        """
+        issues = []
         nbrows = max(1, -(-self.shape[0] // BLOCK))
+
+        # Outer CSR skeleton.
         if self.row_ptr.size != nbrows + 1:
-            raise FormatError("row_ptr length must be #block-rows + 1")
-        if self.row_ptr[-1] != self.col_idx.size:
-            raise FormatError("row_ptr must end at the block count")
+            issues.append("row_ptr length must be #block-rows + 1")
+        if self.row_ptr.size and self.row_ptr[0] != 0:
+            issues.append("row_ptr must start at 0")
+        if np.any(np.diff(self.row_ptr) < 0):
+            issues.append("row_ptr must be monotonically non-decreasing")
+        if self.row_ptr.size and self.row_ptr[-1] != self.col_idx.size:
+            issues.append("row_ptr must end at the block count")
+        if self.col_idx.size:
+            nbcols = max(1, -(-self.shape[1] // BLOCK))
+            if self.col_idx.min() < 0 or self.col_idx.max() >= nbcols:
+                issues.append("col_idx entries must lie inside the block grid")
+        if (self.row_ptr.size == nbrows + 1 and not np.any(np.diff(self.row_ptr) < 0)
+                and self.row_ptr[-1] == self.col_idx.size):
+            for brow in range(nbrows):
+                lo, hi = int(self.row_ptr[brow]), int(self.row_ptr[brow + 1])
+                if hi - lo > 1 and np.any(np.diff(self.col_idx[lo:hi]) <= 0):
+                    issues.append(
+                        f"col_idx must be strictly increasing within block row {brow}"
+                    )
+                    break
+
+        # Level-1 bitmaps vs tile storage.
         if self.bitmap_lv1.size != self.col_idx.size:
-            raise FormatError("one level-1 bitmap per stored block required")
+            issues.append("one level-1 bitmap per stored block required")
+        if self.bitmap_lv1.size and np.any(self.bitmap_lv1 == 0):
+            issues.append("a stored block must mark at least one nonzero tile")
         if self.tile_ptr.size != self.col_idx.size + 1:
-            raise FormatError("tile_ptr length must be #blocks + 1")
-        expected_tiles = int(popcount_array(self.bitmap_lv1).sum())
+            issues.append("tile_ptr length must be #blocks + 1")
+        if self.tile_ptr.size and self.tile_ptr[0] != 0:
+            issues.append("tile_ptr must start at 0")
+        if np.any(np.diff(self.tile_ptr) < 0):
+            issues.append("tile_ptr must be monotonically non-decreasing")
+        lv1_pops = popcount_array(self.bitmap_lv1)
+        expected_tiles = int(lv1_pops.sum())
         if self.bitmap_lv2.size != expected_tiles:
-            raise FormatError("one level-2 bitmap per nonzero tile required")
+            issues.append("one level-2 bitmap per nonzero tile required")
+        if (self.tile_ptr.size == self.bitmap_lv1.size + 1
+                and not np.array_equal(np.diff(self.tile_ptr), lv1_pops)):
+            issues.append("tile_ptr strides must equal level-1 bitmap popcounts")
+
+        # Level-2 bitmaps vs value storage.
+        if self.bitmap_lv2.size and np.any(self.bitmap_lv2 == 0):
+            issues.append("a stored tile must mark at least one nonzero element")
         if self.val_ptr_lv1.size != self.col_idx.size + 1:
-            raise FormatError("val_ptr_lv1 length must be #blocks + 1")
-        if self.val_ptr_lv1[-1] != self.values.size:
-            raise FormatError("val_ptr_lv1 must end at nnz")
-        expected_nnz = int(popcount_array(self.bitmap_lv2).sum())
+            issues.append("val_ptr_lv1 length must be #blocks + 1")
+        if self.val_ptr_lv1.size and self.val_ptr_lv1[0] != 0:
+            issues.append("val_ptr_lv1 must start at 0")
+        if np.any(np.diff(self.val_ptr_lv1) < 0):
+            issues.append("val_ptr_lv1 must be monotonically non-decreasing")
+        if self.val_ptr_lv1.size and self.val_ptr_lv1[-1] != self.values.size:
+            issues.append("val_ptr_lv1 must end at nnz")
+        lv2_pops = popcount_array(self.bitmap_lv2)
+        expected_nnz = int(lv2_pops.sum())
         if self.values.size != expected_nnz:
-            raise FormatError("value count must match level-2 bitmap popcounts")
+            issues.append("value count must match level-2 bitmap popcounts")
+
+        # Per-tile value offsets: each tile's offset within its block is
+        # the cumulative popcount of the block's earlier tiles.
+        if (self.val_ptr_lv2.size == self.bitmap_lv2.size
+                and self.tile_ptr.size == self.bitmap_lv1.size + 1
+                and not np.any(np.diff(self.tile_ptr) < 0)
+                and self.tile_ptr.size
+                and self.tile_ptr[0] == 0
+                and self.tile_ptr[-1] == self.bitmap_lv2.size):
+            tile_starts = np.concatenate(([0], np.cumsum(lv2_pops)))[:-1]
+            tile_block = np.repeat(
+                np.arange(self.bitmap_lv1.size, dtype=np.int64),
+                np.diff(self.tile_ptr),
+            )
+            # tile_ptr[tile_block] is each tile's block's first tile, so
+            # indexing stays inside tile_starts even with empty blocks.
+            block_base = (tile_starts[self.tile_ptr[tile_block]]
+                          if tile_block.size else np.empty(0, dtype=np.int64))
+            expected_lv2_off = tile_starts - block_base
+            if not np.array_equal(expected_lv2_off, self.val_ptr_lv2):
+                issues.append("val_ptr_lv2 offsets must equal cumulative tile popcounts")
+        elif self.val_ptr_lv2.size != self.bitmap_lv2.size:
+            issues.append("one val_ptr_lv2 offset per nonzero tile required")
+
+        # Values themselves: NaN/Inf never survive the encoders.
+        if self.values.size and not np.all(np.isfinite(self.values)):
+            issues.append("values must be finite")
+        return issues
 
     # -- basic queries ------------------------------------------------------
 
@@ -203,6 +288,30 @@ class BBCMatrix:
     def nnz(self) -> int:
         """Number of stored nonzero elements."""
         return int(self.values.size)
+
+    def __len__(self) -> int:
+        """Number of stored blocks — an empty matrix is falsy."""
+        return int(self.col_idx.size)
+
+    def copy(self) -> "BBCMatrix":
+        """Deep copy of the encoding (no cached derived state is shared).
+
+        The copy skips construction-time validation so fault-injection
+        campaigns can corrupt it freely and then ask :meth:`validate`
+        what the format-level checks would catch.
+        """
+        return BBCMatrix(
+            self.shape,
+            self.row_ptr.copy(),
+            self.col_idx.copy(),
+            self.bitmap_lv1.copy(),
+            self.tile_ptr.copy(),
+            self.bitmap_lv2.copy(),
+            self.val_ptr_lv1.copy(),
+            self.val_ptr_lv2.copy(),
+            self.values.copy(),
+            _skip_checks=True,
+        )
 
     @property
     def nblocks(self) -> int:

@@ -1,0 +1,447 @@
+"""Fault-tolerant sweep execution.
+
+A plain :meth:`Sweep.run` dies on the first bad case: one malformed
+matrix, one hung model, one corrupt cache file and the whole corpus
+run is lost.  :class:`ResilientRunner` executes the same grid with the
+failure-isolation properties a long-running sweep service needs:
+
+- **Per-case timeouts** — a case that exceeds its wall-clock budget is
+  abandoned and recorded as ``timeout``; the sweep moves on.
+- **Bounded retry** — failures whose taxonomy class is retryable are
+  re-attempted with exponential backoff plus seeded jitter.
+- **Case isolation** — any :class:`Exception` is captured as a
+  structured :class:`CaseFailure` (taxonomy label, type, message) and
+  the sweep continues; only ``KeyboardInterrupt``/``SystemExit``
+  propagate.
+- **Checkpoint journal** — every finished case is appended to a JSONL
+  journal; ``resume=True`` replays journaled successes (their reports
+  are reconstructed, not re-simulated) and re-runs only the rest.
+- **Warm block cache** — an optional cache file is loaded through
+  :func:`repro.sim.cachestore.load_cache_or_cold`, so a corrupt or
+  truncated cache warns and rebuilds cold instead of aborting, and is
+  re-saved when the run finishes (even on interrupt).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import (
+    CaseTimeoutError,
+    CheckpointError,
+    ConfigError,
+    ConvergenceError,
+    DataCorruptionError,
+    FormatError,
+    ShapeError,
+    SimulationError,
+)
+from repro.arch.counters import Counters
+from repro.arch.tasks import UtilHistogram
+from repro.sim import cachestore
+from repro.sim.results import SimReport
+from repro.sim.sweep import Sweep, SweepCase, SweepResult
+
+logger = logging.getLogger(__name__)
+
+#: Journal schema version; bumped on incompatible layout changes.
+JOURNAL_VERSION = 1
+
+#: Error taxonomy, most specific classes first.  ``classify_error``
+#: returns the first matching label, ``"unexpected"`` otherwise.
+_TAXONOMY: Tuple[Tuple[str, tuple], ...] = (
+    ("timeout", (CaseTimeoutError,)),
+    ("corruption", (DataCorruptionError,)),
+    ("checkpoint", (CheckpointError,)),
+    ("format", (FormatError,)),
+    ("shape", (ShapeError,)),
+    ("config", (ConfigError,)),
+    ("convergence", (ConvergenceError,)),
+    ("simulation", (SimulationError,)),
+    ("numeric", (FloatingPointError, ZeroDivisionError, OverflowError)),
+    ("resource", (MemoryError, OSError)),
+)
+
+#: Taxonomy labels that may be transient and are worth re-attempting.
+#: Structural classes (format/shape/config) are deterministic and are
+#: never retried — the same inputs would fail the same way.
+DEFAULT_RETRYABLE: FrozenSet[str] = frozenset(
+    {"timeout", "resource", "simulation", "unexpected"}
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its error-taxonomy label."""
+    for label, types in _TAXONOMY:
+        if isinstance(exc, types):
+            return label
+    return "unexpected"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter."""
+
+    max_retries: int = 0
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    retryable: FrozenSet[str] = DEFAULT_RETRYABLE
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay_s * self.backoff ** attempt, self.max_delay_s)
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass(frozen=True)
+class CaseFailure:
+    """Structured record of why a case failed."""
+
+    taxonomy: str
+    type: str
+    message: str
+
+
+@dataclass
+class CaseOutcome:
+    """Terminal state of one sweep case under the resilient runner."""
+
+    case: SweepCase
+    status: str  # "ok" | "failed"
+    report: Optional[SimReport] = None
+    failure: Optional[CaseFailure] = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    resumed: bool = False
+
+
+@dataclass
+class RunSummary:
+    """Everything the runner observed across the grid."""
+
+    outcomes: List[CaseOutcome] = field(default_factory=list)
+
+    @property
+    def results(self) -> List[SweepResult]:
+        """Successful cases as ordinary sweep results."""
+        return [SweepResult(case=o.case, report=o.report)
+                for o in self.outcomes if o.status == "ok"]
+
+    @property
+    def failures(self) -> List[CaseOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def n_resumed(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
+
+    def taxonomy_counts(self) -> Dict[str, int]:
+        """Failure counts per taxonomy label."""
+        counts: Dict[str, int] = {}
+        for o in self.failures:
+            counts[o.failure.taxonomy] = counts.get(o.failure.taxonomy, 0) + 1
+        return counts
+
+
+# -- report (de)serialisation for the journal ---------------------------
+
+
+def _report_to_json(report: SimReport) -> dict:
+    return {
+        "stc": report.stc,
+        "kernel": report.kernel,
+        "matrix": report.matrix,
+        "cycles": int(report.cycles),
+        "products": int(report.products),
+        "t1_tasks": int(report.t1_tasks),
+        "util_bins": [int(x) for x in report.util_hist.bins],
+        "counters": report.counters.as_dict(),
+        "energy_pj": float(report.energy_pj),
+        "energy_breakdown": {k: float(v) for k, v in report.energy_breakdown.items()},
+    }
+
+
+def _report_from_json(data: dict) -> SimReport:
+    report = SimReport(
+        stc=data["stc"],
+        kernel=data["kernel"],
+        matrix=data.get("matrix"),
+        cycles=int(data["cycles"]),
+        products=int(data["products"]),
+        t1_tasks=int(data["t1_tasks"]),
+        util_hist=UtilHistogram(bins=np.asarray(data["util_bins"], dtype=np.int64)),
+        counters=Counters(data["counters"]),
+        energy_pj=float(data["energy_pj"]),
+        energy_breakdown={k: float(v) for k, v in data["energy_breakdown"].items()},
+    )
+    return report
+
+
+def _case_key(case: SweepCase) -> str:
+    return f"{case.matrix_name}\x1f{case.kernel}\x1f{case.stc_name}"
+
+
+def _grid_fingerprint(cases: List[SweepCase]) -> str:
+    digest = hashlib.sha256()
+    for key in sorted(_case_key(c) for c in cases):
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+# -- the runner ---------------------------------------------------------
+
+
+@dataclass
+class ResilientRunner:
+    """Run a :class:`Sweep` with isolation, retries and checkpoints.
+
+    ``sleep`` and ``clock`` are injectable so tests can exercise the
+    backoff schedule without real waiting.  Jitter is drawn from a
+    generator seeded with ``seed``, keeping retry schedules
+    reproducible.
+    """
+
+    sweep: Sweep
+    timeout_s: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    journal_path: Optional[Union[str, Path]] = None
+    resume: bool = False
+    cache_path: Optional[Union[str, Path]] = None
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- journal ---------------------------------------------------------
+
+    def _read_journal(self, fingerprint: str) -> Dict[str, CaseOutcome]:
+        """Parse an existing journal into per-case outcomes.
+
+        A truncated final line (the process died mid-write) is
+        tolerated; a missing/garbled header or a journal written for a
+        different grid raises :class:`CheckpointError`.
+        """
+        path = Path(str(self.journal_path))
+        outcomes: Dict[str, CaseOutcome] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise CheckpointError(f"checkpoint journal {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint journal {path} has no valid header") from exc
+        if header.get("journal") != "repro.resilience":
+            raise CheckpointError(f"{path} is not a resilience checkpoint journal")
+        if header.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(f"checkpoint journal {path} version mismatch")
+        if header.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint journal {path} was written for a different sweep grid"
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                case = SweepCase(entry["case"]["matrix"], entry["case"]["stc"],
+                                 entry["case"]["kernel"])
+                status = entry["status"]
+                report = (_report_from_json(entry["report"])
+                          if status == "ok" else None)
+                failure = (CaseFailure(**entry["error"])
+                           if entry.get("error") else None)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                logger.warning(
+                    "checkpoint journal %s: ignoring truncated/garbled line %d",
+                    path, lineno,
+                )
+                continue
+            outcomes[_case_key(case)] = CaseOutcome(
+                case=case, status=status, report=report, failure=failure,
+                attempts=int(entry.get("attempts", 1)),
+                elapsed_s=float(entry.get("elapsed_s", 0.0)),
+                resumed=True,
+            )
+        return outcomes
+
+    @staticmethod
+    def _journal_entry(outcome: CaseOutcome) -> dict:
+        entry = {
+            "case": {
+                "matrix": outcome.case.matrix_name,
+                "stc": outcome.case.stc_name,
+                "kernel": outcome.case.kernel,
+            },
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "elapsed_s": round(outcome.elapsed_s, 6),
+        }
+        if outcome.report is not None:
+            entry["report"] = _report_to_json(outcome.report)
+        if outcome.failure is not None:
+            entry["error"] = {
+                "taxonomy": outcome.failure.taxonomy,
+                "type": outcome.failure.type,
+                "message": outcome.failure.message,
+            }
+        return entry
+
+    # -- execution -------------------------------------------------------
+
+    def _run_with_timeout(self, case: SweepCase) -> SweepResult:
+        """One attempt, enforcing the wall-clock budget if configured.
+
+        Timeouts use a single worker thread; Python cannot kill a
+        runaway thread, so a timed-out case's thread is abandoned (it
+        no longer blocks the sweep) and the executor is replaced.
+        """
+        if self.timeout_s is None:
+            return self.sweep.run_case(case)
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-sweep"
+            )
+        future = self._executor.submit(self.sweep.run_case, case)
+        try:
+            return future.result(timeout=self.timeout_s)
+        except _FutureTimeout:
+            future.cancel()
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            raise CaseTimeoutError(
+                f"case ({case.matrix_name}, {case.kernel}, {case.stc_name}) "
+                f"exceeded its {self.timeout_s:g}s budget"
+            ) from None
+
+    def _run_case(self, case: SweepCase, rng: np.random.Generator) -> CaseOutcome:
+        """Attempt one case until success, a non-retryable failure, or
+        the retry budget is spent.  Never lets an ``Exception`` escape."""
+        start = self.clock()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = self._run_with_timeout(case)
+                return CaseOutcome(
+                    case=case, status="ok", report=result.report,
+                    attempts=attempts, elapsed_s=self.clock() - start,
+                )
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                taxonomy = classify_error(exc)
+                retries_left = self.retry.max_retries - (attempts - 1)
+                if taxonomy in self.retry.retryable and retries_left > 0:
+                    delay = self.retry.delay(attempts - 1, rng)
+                    logger.warning(
+                        "case (%s, %s, %s) failed [%s: %s]; retrying in %.3fs "
+                        "(%d retr%s left)",
+                        case.matrix_name, case.kernel, case.stc_name,
+                        taxonomy, exc, delay, retries_left,
+                        "y" if retries_left == 1 else "ies",
+                    )
+                    self.sleep(delay)
+                    continue
+                logger.warning(
+                    "case (%s, %s, %s) failed permanently after %d attempt%s "
+                    "[%s: %s]",
+                    case.matrix_name, case.kernel, case.stc_name, attempts,
+                    "" if attempts == 1 else "s", taxonomy, exc,
+                )
+                return CaseOutcome(
+                    case=case, status="failed",
+                    failure=CaseFailure(
+                        taxonomy=taxonomy, type=type(exc).__name__,
+                        message=str(exc),
+                    ),
+                    attempts=attempts, elapsed_s=self.clock() - start,
+                )
+
+    def run(self, progress: Optional[Callable[[CaseOutcome], None]] = None) -> RunSummary:
+        """Execute the grid; returns every case's terminal outcome.
+
+        A crash or interrupt can cost at most the in-flight case: the
+        journal is flushed per line and the warm cache is saved on the
+        way out (including on ``KeyboardInterrupt``).
+        """
+        rng = np.random.default_rng(self.seed)
+        cases = self.sweep.cases()
+        fingerprint = _grid_fingerprint(cases)
+        if self.cache_path is not None:
+            warm = cachestore.load_cache_or_cold(self.cache_path)
+            if warm:
+                logger.info("warm-started block cache with %d entries", warm)
+
+        journaled: Dict[str, CaseOutcome] = {}
+        journal_handle = None
+        if self.journal_path is not None:
+            path = Path(str(self.journal_path))
+            if self.resume and path.exists():
+                journaled = self._read_journal(fingerprint)
+                journal_handle = open(path, "a", encoding="utf-8")
+            else:
+                if self.resume:
+                    logger.warning(
+                        "no checkpoint journal at %s; starting a fresh run", path
+                    )
+                journal_handle = open(path, "w", encoding="utf-8")
+                header = {
+                    "journal": "repro.resilience",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                    "cases": len(cases),
+                }
+                journal_handle.write(json.dumps(header) + "\n")
+                journal_handle.flush()
+
+        summary = RunSummary()
+        try:
+            for case in cases:
+                prior = journaled.get(_case_key(case))
+                if prior is not None and prior.status == "ok":
+                    summary.outcomes.append(prior)
+                    if progress is not None:
+                        progress(prior)
+                    continue
+                outcome = self._run_case(case, rng)
+                summary.outcomes.append(outcome)
+                if journal_handle is not None:
+                    journal_handle.write(
+                        json.dumps(self._journal_entry(outcome)) + "\n"
+                    )
+                    journal_handle.flush()
+                if progress is not None:
+                    progress(outcome)
+        finally:
+            if journal_handle is not None:
+                journal_handle.close()
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+            if self.cache_path is not None:
+                written = cachestore.save_cache(self.cache_path)
+                logger.info("saved block cache (%d entries) to %s",
+                            written, self.cache_path)
+        return summary

@@ -5,10 +5,21 @@ model is a pure function of the task's bitmap pair, results are safe
 to persist across processes.  ``save_cache``/``load_cache`` serialise
 the engine's cache to a compressed ``.npz`` so a repeated sweep (or a
 resumed one) starts warm.
+
+Cache files are integrity-checked: the archive embeds a CRC32 over its
+payload arrays, and any malformed archive (truncated download, partial
+write, flipped bits, wrong file entirely) raises :class:`FormatError`
+on load rather than a raw ``zipfile``/``numpy`` traceback.  Long-
+running sweeps that merely want a warm start should instead call
+:func:`load_cache_or_cold`, which logs a warning and rebuilds cold.
 """
 
 from __future__ import annotations
 
+import logging
+import pickle
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
@@ -21,7 +32,23 @@ from repro.errors import FormatError
 from repro.sim import engine
 
 #: Serialisation format version; mismatches are rejected on load.
-CACHE_VERSION = 1
+#: v2 added the embedded payload checksum.
+CACHE_VERSION = 2
+
+logger = logging.getLogger(__name__)
+
+
+def _payload_checksum(namespaces, a_bits, b_bits, scalars, bins, counters) -> int:
+    """CRC32 over every payload array, keys included."""
+    crc = 0
+    for ns, ab, bb in zip(namespaces, a_bits, b_bits):
+        crc = zlib.crc32(str(ns).encode("utf-8"), crc)
+        crc = zlib.crc32(bytes(ab), crc)
+        crc = zlib.crc32(bytes(bb), crc)
+    crc = zlib.crc32(np.ascontiguousarray(scalars).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(bins).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(counters).tobytes(), crc)
+    return crc & 0xFFFFFFFF
 
 
 def save_cache(path: Union[str, Path]) -> int:
@@ -37,12 +64,17 @@ def save_cache(path: Union[str, Path]) -> int:
         bins[i] = result.util_hist.bins
         for j, action in enumerate(ACTIONS):
             counter_matrix[i, j] = result.counters.get(action)
+    namespaces = np.asarray([k[0] for k in keys], dtype=object)
+    a_arr = np.asarray([k[1] for k in keys], dtype=object)
+    b_arr = np.asarray([k[2] for k in keys], dtype=object)
+    checksum = _payload_checksum(namespaces, a_arr, b_arr, scalars, bins, counter_matrix)
     np.savez_compressed(
         str(path),
         version=np.asarray([CACHE_VERSION]),
-        namespaces=np.asarray([k[0] for k in keys], dtype=object),
-        a_bits=np.asarray([k[1] for k in keys], dtype=object),
-        b_bits=np.asarray([k[2] for k in keys], dtype=object),
+        checksum=np.asarray([checksum], dtype=np.int64),
+        namespaces=namespaces,
+        a_bits=a_arr,
+        b_bits=b_arr,
         scalars=scalars,
         bins=bins,
         counters=counter_matrix,
@@ -56,33 +88,75 @@ def load_cache(path: Union[str, Path], merge: bool = True) -> int:
 
     ``merge=False`` clears the in-memory cache first.  Entries whose
     action vocabulary no longer matches the running build are rejected
-    (the energy table would silently misprice them otherwise).
+    (the energy table would silently misprice them otherwise).  Any
+    malformed archive — truncated, bit-flipped, not a zip, missing
+    fields — raises :class:`FormatError`; the in-memory cache is left
+    untouched in that case.
     """
     path = Path(str(path))
-    with np.load(path, allow_pickle=True) as data:
-        if int(data["version"][0]) != CACHE_VERSION:
-            raise FormatError("cache file version mismatch")
-        actions = tuple(data["actions"])
-        if actions != ACTIONS:
-            raise FormatError("cache action vocabulary differs from this build")
-        if not merge:
-            engine.clear_cache()
-        count = 0
-        for i in range(len(data["namespaces"])):
-            key = (
-                str(data["namespaces"][i]),
-                bytes(data["a_bits"][i]),
-                bytes(data["b_bits"][i]),
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            if int(data["version"][0]) != CACHE_VERSION:
+                raise FormatError("cache file version mismatch")
+            actions = tuple(data["actions"])
+            if actions != ACTIONS:
+                raise FormatError("cache action vocabulary differs from this build")
+            namespaces = data["namespaces"]
+            a_bits = data["a_bits"]
+            b_bits = data["b_bits"]
+            scalars = data["scalars"]
+            bins = data["bins"]
+            counter_matrix = data["counters"]
+            stored = int(data["checksum"][0])
+            actual = _payload_checksum(
+                namespaces, a_bits, b_bits, scalars, bins, counter_matrix
             )
-            hist = UtilHistogram(bins=data["bins"][i].copy())
-            counters = Counters()
-            for j, action in enumerate(ACTIONS):
-                counters.add(action, float(data["counters"][i, j]))
-            engine._BLOCK_CACHE[key] = BlockResult(
-                cycles=int(data["scalars"][i, 0]),
-                products=int(data["scalars"][i, 1]),
-                util_hist=hist,
-                counters=counters,
-            )
-            count += 1
+            if stored != actual:
+                raise FormatError(
+                    f"cache payload checksum mismatch "
+                    f"(stored {stored:#010x}, computed {actual:#010x})"
+                )
+            n = len(namespaces)
+            if any(arr.shape[0] != n for arr in (a_bits, b_bits, scalars, bins,
+                                                 counter_matrix)):
+                raise FormatError("cache payload arrays disagree on entry count")
+    except FormatError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, pickle.UnpicklingError, KeyError,
+            ValueError, IndexError, EOFError, OSError) as exc:
+        raise FormatError(f"corrupt or unreadable cache file {path}: {exc}") from exc
+    if not merge:
+        engine.clear_cache()
+    count = 0
+    for i in range(n):
+        key = (str(namespaces[i]), bytes(a_bits[i]), bytes(b_bits[i]))
+        hist = UtilHistogram(bins=bins[i].copy())
+        counters = Counters()
+        for j, action in enumerate(ACTIONS):
+            counters.add(action, float(counter_matrix[i, j]))
+        engine._BLOCK_CACHE[key] = BlockResult(
+            cycles=int(scalars[i, 0]),
+            products=int(scalars[i, 1]),
+            util_hist=hist,
+            counters=counters,
+        )
+        count += 1
     return count
+
+
+def load_cache_or_cold(path: Union[str, Path], merge: bool = True) -> int:
+    """Warm-start helper: load a cache if possible, else start cold.
+
+    A missing file returns 0 silently (first run); a corrupt or
+    incompatible file logs a warning and returns 0 — the sweep then
+    rebuilds the cache from scratch instead of dying on startup.
+    """
+    path = Path(str(path))
+    if not path.exists():
+        return 0
+    try:
+        return load_cache(path, merge=merge)
+    except FormatError as exc:
+        logger.warning("ignoring unusable block cache %s (%s); rebuilding cold",
+                       path, exc)
+        return 0

@@ -68,7 +68,7 @@ def kernel_traffic_bytes(
     elif kernel == "spmm":
         traffic["read_b"] = float(a.shape[1] * b_cols * _VALUE_BYTES)
     elif kernel == "spgemm":
-        other = b or a
+        other = b if b is not None else a
         traffic["read_b"] = float(other.storage_bytes())
     else:
         raise ShapeError(f"unknown kernel {kernel!r}")
@@ -86,7 +86,7 @@ def spgemm_output_nnz(a: BBCMatrix, b: Optional[BBCMatrix] = None) -> int:
     """
     import numpy as np
 
-    other = b or a
+    other = b if b is not None else a
     if a.shape[1] != other.shape[0]:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {other.shape}")
     # int64 accumulators: a uint8 product would wrap at 256 matched

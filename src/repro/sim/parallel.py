@@ -35,7 +35,7 @@ def block_row_work(a: BBCMatrix, kernel: str, b: Optional[BBCMatrix] = None) -> 
     """
     work = np.zeros(a.block_rows, dtype=np.int64)
     if kernel == "spgemm":
-        other = b or a
+        other = b if b is not None else a
         b_row_blocks = np.diff(other.row_ptr)
         for brow in range(a.block_rows):
             cols, _ = a.block_row(brow)
@@ -115,7 +115,7 @@ def _tasks_for_rows(
     """The T1 tasks of one block-row range (mirrors taskstream logic)."""
     bitmaps = a.block_bitmaps_all()
     if kernel == "spgemm":
-        other = b or a
+        other = b if b is not None else a
         other_bitmaps = other.block_bitmaps_all()
         for brow in rows:
             cols, idxs = a.block_row(brow)

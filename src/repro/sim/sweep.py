@@ -51,6 +51,7 @@ class Sweep:
     stcs: Dict[str, Callable[[], STCModel]]
     kernels: Sequence[str]
     spmspv_operands: Dict[str, SparseVector] = field(default_factory=dict)
+    _encoded: Dict[str, BBCMatrix] = field(default_factory=dict, init=False, repr=False)
 
     def cases(self) -> List[SweepCase]:
         """Every cell of the grid, matrices outermost (cache-friendly)."""
@@ -70,23 +71,42 @@ class Sweep:
         dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
         return SparseVector.from_dense(dense)
 
+    def encode(self, matrix_name: str) -> BBCMatrix:
+        """The BBC encoding of one matrix, memoised per sweep instance."""
+        bbc = self._encoded.get(matrix_name)
+        if bbc is None:
+            if matrix_name not in self.matrices:
+                raise SimulationError(f"unknown sweep matrix {matrix_name!r}")
+            bbc = BBCMatrix.from_coo(self.matrices[matrix_name])
+            self._encoded[matrix_name] = bbc
+        return bbc
+
+    def run_case(self, case: SweepCase) -> SweepResult:
+        """Execute a single grid cell independently of the others.
+
+        This is the unit of work the fault-tolerant runner
+        (:mod:`repro.resilience.runner`) times out, retries and
+        journals; encodings are shared across cases via :meth:`encode`.
+        """
+        if case.stc_name not in self.stcs:
+            raise SimulationError(f"unknown sweep STC {case.stc_name!r}")
+        bbc = self.encode(case.matrix_name)
+        kwargs = {}
+        if case.kernel == "spmspv":
+            kwargs["x"] = self._operand(case.matrix_name, bbc)
+        report = simulate_kernel(
+            case.kernel, bbc, self.stcs[case.stc_name](),
+            matrix=case.matrix_name, **kwargs
+        )
+        return SweepResult(case=case, report=report)
+
     def run(self, progress: Optional[Callable[[SweepCase], None]] = None) -> List[SweepResult]:
         """Execute the whole grid; per-matrix encodings happen once."""
         results: List[SweepResult] = []
-        for m_name, coo in self.matrices.items():
-            bbc = BBCMatrix.from_coo(coo)
-            for kernel in self.kernels:
-                kwargs = {}
-                if kernel == "spmspv":
-                    kwargs["x"] = self._operand(m_name, bbc)
-                for s_name, factory in self.stcs.items():
-                    case = SweepCase(m_name, s_name, kernel)
-                    if progress is not None:
-                        progress(case)
-                    report = simulate_kernel(
-                        kernel, bbc, factory(), matrix=m_name, **kwargs
-                    )
-                    results.append(SweepResult(case=case, report=report))
+        for case in self.cases():
+            if progress is not None:
+                progress(case)
+            results.append(self.run_case(case))
         return results
 
 

@@ -1,7 +1,6 @@
 """Hypothesis property tests on the TMS dispatcher and engine weights."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.config import UniSTCConfig

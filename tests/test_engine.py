@@ -1,13 +1,11 @@
 """Tests for the simulation engine and reports."""
 
-import numpy as np
 import pytest
 
 from repro.arch.tasks import T1Task
 from repro.arch.unistc import UniSTC
-from repro.baselines import DsSTC, RmSTC
+from repro.baselines import DsSTC
 from repro.errors import SimulationError
-from repro.formats import BBCMatrix
 from repro.kernels.taskstream import spgemm_tasks
 from repro.kernels.vector import SparseVector
 from repro.sim import engine

@@ -1,6 +1,5 @@
 """Tests for the memory/roofline model and the encoding-cost model."""
 
-import numpy as np
 import pytest
 
 from repro.arch.unistc import UniSTC
@@ -14,7 +13,6 @@ from repro.formats.encoding_cost import (
 from repro.kernels.vector import SparseVector
 from repro.sim.engine import simulate_kernel
 from repro.sim.memory import (
-    DEFAULT_MEMORY,
     MemoryConfig,
     kernel_traffic_bytes,
     memory_cycles,

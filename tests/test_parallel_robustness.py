@@ -1,0 +1,122 @@
+"""Edge-case tests for the static partitioner and SpGEMM B-operand
+handling in :mod:`repro.sim.parallel` / :mod:`repro.sim.memory`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.unistc import UniSTC
+from repro.errors import SimulationError
+from repro.formats.bbc import BBCMatrix
+from repro.formats.coo import COOMatrix
+from repro.sim.memory import kernel_traffic_bytes, spgemm_output_nnz
+from repro.sim.parallel import (
+    block_row_work,
+    partition_block_rows,
+    simulate_parallel,
+)
+from repro.workloads.synthetic import banded
+
+
+def assert_exact_cover(parts, size):
+    """Ranges must tile [0, size) in order, without gaps or overlap."""
+    cursor = 0
+    for part in parts:
+        assert part.start == cursor
+        assert part.stop >= part.start
+        cursor = part.stop
+    assert cursor == size
+
+
+class TestPartitionEdgeCases:
+    def test_more_parts_than_block_rows(self):
+        work = np.array([7, 3, 5], dtype=np.int64)
+        parts = partition_block_rows(work, 8)
+        assert len(parts) == 8
+        assert_exact_cover(parts, work.size)
+        # Every row lands in exactly one part.
+        assigned = [r for part in parts for r in part]
+        assert assigned == [0, 1, 2]
+
+    def test_all_zero_work(self):
+        work = np.zeros(6, dtype=np.int64)
+        parts = partition_block_rows(work, 4)
+        assert len(parts) == 4
+        assert_exact_cover(parts, work.size)
+
+    def test_single_row_matrix(self):
+        work = np.array([5], dtype=np.int64)
+        parts = partition_block_rows(work, 4)
+        assert len(parts) == 4
+        assert_exact_cover(parts, 1)
+        assert sum(len(p) for p in parts) == 1
+
+    def test_empty_work_vector(self):
+        parts = partition_block_rows(np.zeros(0, dtype=np.int64), 3)
+        assert len(parts) == 3
+        assert_exact_cover(parts, 0)
+
+    def test_single_part_takes_everything(self):
+        work = np.array([1, 2, 3, 4], dtype=np.int64)
+        parts = partition_block_rows(work, 1)
+        assert parts == [range(0, 4)]
+
+    def test_nonpositive_parts_rejected(self):
+        work = np.ones(4, dtype=np.int64)
+        with pytest.raises(SimulationError):
+            partition_block_rows(work, 0)
+        with pytest.raises(SimulationError):
+            partition_block_rows(work, -2)
+
+    def test_balanced_on_uniform_work(self):
+        work = np.full(64, 10, dtype=np.int64)
+        parts = partition_block_rows(work, 4)
+        assert_exact_cover(parts, 64)
+        assert [len(p) for p in parts] == [16, 16, 16, 16]
+
+
+class TestEmptyishBOperand:
+    """Regression tests for the former ``b or a`` truthiness footgun.
+
+    ``BBCMatrix`` defines ``__len__`` (block count), so an explicitly
+    supplied *empty* B operand is falsy — ``b or a`` would silently
+    compute SpGEMM work against A instead of the zero matrix the caller
+    asked for.
+    """
+
+    @pytest.fixture
+    def a(self):
+        return BBCMatrix.from_coo(banded(64, 8, 0.6, seed=4))
+
+    @pytest.fixture
+    def empty_b(self):
+        empty = BBCMatrix.from_coo(COOMatrix((64, 64), [], [], []))
+        assert not empty  # the precondition that makes `b or a` wrong
+        return empty
+
+    def test_block_row_work_uses_the_supplied_empty_b(self, a, empty_b):
+        work = block_row_work(a, "spgemm", empty_b)
+        assert np.array_equal(work, np.zeros(a.block_rows, dtype=np.int64))
+        # Sanity: defaulting to A (b=None) gives real work.
+        assert block_row_work(a, "spgemm", None).sum() > 0
+
+    def test_simulate_parallel_with_empty_b_does_no_work(self, a, empty_b):
+        report = simulate_parallel("spgemm", a, UniSTC, n_cores=2, b=empty_b)
+        assert report.wall_cycles == 0
+        assert report.total_cycles == 0
+
+    def test_traffic_reads_the_supplied_empty_b(self, a, empty_b):
+        traffic = kernel_traffic_bytes("spgemm", a, b=empty_b)
+        assert traffic["read_b"] == float(empty_b.storage_bytes())
+        assert traffic["read_b"] < float(a.storage_bytes())
+
+    def test_spgemm_output_nnz_with_empty_b_is_zero(self, a, empty_b):
+        assert spgemm_output_nnz(a, empty_b) == 0
+        assert spgemm_output_nnz(a, None) > 0
+
+    def test_non_empty_b_still_used(self, a):
+        b = BBCMatrix.from_coo(banded(64, 48, 0.6, seed=9))
+        work_b = block_row_work(a, "spgemm", b)
+        work_a = block_row_work(a, "spgemm", None)
+        assert work_b.sum() != work_a.sum()

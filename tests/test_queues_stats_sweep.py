@@ -1,6 +1,5 @@
 """Tests for queue modelling, matrix statistics and the sweep runner."""
 
-import numpy as np
 import pytest
 
 from repro.arch.config import UniSTCConfig

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arch.config import FP32, FP64, UniSTCConfig
+from repro.arch.config import FP32, UniSTCConfig
 from repro.arch.tasks import T1Task
 from repro.arch.unistc import UniSTC, decode_a_operand, decode_b_operand
 from repro.errors import SimulationError

@@ -7,7 +7,6 @@ import pytest
 from repro.arch.base import BlockResult
 from repro.errors import ConfigError, FormatError, ReproError, SimulationError
 from repro.formats import BBCMatrix, COOMatrix
-from repro.formats.bbc import BLOCK
 
 
 @pytest.fixture

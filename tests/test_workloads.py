@@ -7,7 +7,7 @@ from repro.errors import ShapeError
 from repro.formats import BBCMatrix
 from repro.workloads import representative, suitesparse, synthetic
 from repro.workloads.dlmc import SPARSITIES, dlmc_corpus, pruned_weight
-from repro.workloads.dnn import RESNET50_LAYERS, TRANSFORMER_LAYERS, resnet50_layers, transformer_layers
+from repro.workloads.dnn import RESNET50_LAYERS, TRANSFORMER_LAYERS, resnet50_layers
 
 
 class TestSynthetic:
