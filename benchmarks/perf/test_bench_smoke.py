@@ -1,0 +1,54 @@
+"""CI smoke test for the ``repro bench`` harness.
+
+Runs the harness in smoke mode (tiny corpus, one repetition) and
+asserts it completes, writes valid JSON with the expected structure,
+and that the legacy/fast engine paths agreed on every total.  Timings
+are NOT asserted — smoke numbers are meaningless; the real report is
+``BENCH_2.json`` at the repo root.
+
+Run directly (no ``--benchmark-only``): ``pytest benchmarks/perf -q``.
+"""
+
+import json
+
+from repro.cli import main
+from repro.kernels import KERNELS
+from repro.perf.bench import BENCH_SCHEMA, run_bench
+
+
+def test_bench_smoke_report_structure(tmp_path):
+    out = tmp_path / "bench_smoke.json"
+    report = run_bench(out=out, smoke=True)
+
+    data = json.loads(out.read_text())
+    assert data == json.loads(json.dumps(report))  # file mirrors return
+    assert data["schema"] == BENCH_SCHEMA
+    assert data["config"]["smoke"] is True
+
+    enc = data["encode"]
+    assert enc["matrices"] > 0 and enc["total_nnz"] > 0
+    assert enc["seconds"] > 0 and enc["nnz_per_second"] > 0
+
+    assert set(data["enumeration"]) == set(KERNELS)
+    for row in data["enumeration"].values():
+        assert row["tasks"] > 0
+        assert row["legacy_seconds"] > 0 and row["batched_seconds"] > 0
+
+    sweep = data["corpus_sweep"]
+    assert sweep["totals_match"] is True
+    assert sweep["cases"] == enc["matrices"] * len(KERNELS)
+    for regime in ("cold", "warm"):
+        assert sweep[regime]["legacy_seconds"] > 0
+        assert sweep[regime]["fast_seconds"] > 0
+    assert sweep["speedup"] == sweep["warm"]["speedup"]
+    assert sweep["totals"]["t1_tasks"] > 0
+    assert sweep["cache"]["entries"] > 0
+    assert sweep["cache"]["inserts"] == sweep["cache"]["entries"]
+
+
+def test_bench_cli_smoke(tmp_path, capsys):
+    out = tmp_path / "cli_bench.json"
+    assert main(["bench", "--smoke", "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA
+    printed = capsys.readouterr().out
+    assert "corpus sweep" in printed and str(out) in printed

@@ -45,7 +45,7 @@ def test_roofline_per_kernel(benchmark):
     rows = [[k, r.compute_cycles, r.memory_cycles, r.bound,
              1000 * r.arithmetic_intensity] for k, r in roofs.items()]
     print_table(
-        ["kernel", "compute cyc", "memory cyc", "bound", "cycles/KB"],
+        ["kernel", "compute cyc", "memory cyc", "bound", "MACs/KB"],
         rows, title="Roofline — Uni-STC on 'cant' at 2.5 B/cycle per core",
     )
     # SpMV streams the matrix once per use: always memory-bound.

@@ -12,9 +12,15 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-from repro.arch.counters import Counters
+import numpy as np
+
+from repro.arch.counters import ACTIONS, Counters
 from repro.arch.tasks import T1Task, UtilHistogram
 from repro.errors import SimulationError
+
+#: Layout of :meth:`BlockResult.action_vector`:
+#: [cycles, products, util bins 0..3, one slot per ``ACTIONS`` entry].
+VECTOR_WIDTH = 2 + 4 + len(ACTIONS)
 
 
 @dataclass
@@ -29,6 +35,27 @@ class BlockResult:
     def __post_init__(self) -> None:
         if self.cycles < 0 or self.products < 0:
             raise SimulationError("cycles and products must be non-negative")
+
+    def action_vector(self) -> np.ndarray:
+        """The result flattened to one float64 row (see ``VECTOR_WIDTH``).
+
+        Memoised results are aggregated millions of times across a
+        corpus sweep; flattening once lets the engine reduce a whole
+        coalesced task stream with a single weighted matrix product
+        instead of per-task ``Counters.merge`` calls.  The vector is
+        cached on first use — results in the block cache are treated
+        as immutable.
+        """
+        vec = getattr(self, "_vector", None)
+        if vec is None:
+            vec = np.zeros(VECTOR_WIDTH)
+            vec[0] = self.cycles
+            vec[1] = self.products
+            vec[2:6] = self.util_hist.bins
+            for j, action in enumerate(ACTIONS):
+                vec[6 + j] = self.counters.get(action)
+            self._vector = vec
+        return vec
 
     @property
     def mean_utilisation(self) -> float:

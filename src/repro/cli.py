@@ -293,6 +293,26 @@ def cmd_paper(args: argparse.Namespace) -> int:
     return subprocess.call(cmd)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Hot-path microbenchmarks: encode, enumeration, corpus sweep."""
+    from repro.perf.bench import render_summary, run_bench
+
+    report = run_bench(
+        out=args.out or None,
+        smoke=args.smoke,
+        corpus_limit=args.corpus_limit or None,
+        repeat=args.repeat,
+    )
+    print(render_summary(report))
+    if args.out:
+        print(f"\nwrote {args.out}")
+    if not report["corpus_sweep"]["totals_match"]:
+        print("error: legacy and fast sweep paths disagree on totals",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -379,6 +399,24 @@ def build_parser() -> argparse.ArgumentParser:
     paper.add_argument("--filter", default="", help="pytest -k expression")
     paper.add_argument("--json", default="", help="also write benchmark JSON here")
     paper.set_defaults(func=cmd_paper)
+
+    bench = sub.add_parser(
+        "bench", help="hot-path microbenchmarks (encode / enumeration / sweep)"
+    )
+    bench.add_argument("--out", default="", help="write the JSON report here")
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny corpus, one repetition — structure check only",
+    )
+    bench.add_argument(
+        "--corpus-limit", type=int, default=0,
+        help="cap on corpus matrices (0 = the full bench corpus)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="repetitions per timing (best-of, default 3)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured markdown from a benchmark JSON"

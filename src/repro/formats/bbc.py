@@ -362,24 +362,54 @@ class BBCMatrix:
         """Tile-grid position (0..15) of every stored tile, block-major.
 
         Derived from the level-1 bitmaps (stored tiles appear in
-        ascending bit order); cached after the first call.
+        ascending bit order); fully vectorised — ``np.nonzero`` on the
+        unpacked bit matrix yields bit positions in exactly that
+        block-major, ascending order — and cached after the first call.
         """
         cached = getattr(self, "_tile_ids_cache", None)
         if cached is not None:
             return cached
-        ids = np.empty(self.ntiles, dtype=np.uint8)
-        out = 0
-        for lv1 in self.bitmap_lv1:
-            bits = int(lv1)
-            t = 0
-            while bits:
-                if bits & 1:
-                    ids[out] = t
-                    out += 1
-                bits >>= 1
-                t += 1
+        if self.bitmap_lv1.size:
+            bits = (
+                (self.bitmap_lv1[:, None].astype(np.uint32)
+                 >> np.arange(TILES_PER_BLOCK, dtype=np.uint32)) & 1
+            ).astype(bool)
+            ids = np.nonzero(bits)[1].astype(np.uint8)
+        else:
+            ids = np.empty(0, dtype=np.uint8)
         self._tile_ids_cache = ids
         return ids
+
+    def structural_coords(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of every stored nonzero, decoded without values.
+
+        Vectorised over stored tiles (no per-block Python loops), in
+        block-major / tile-major / row-major-within-tile order — the
+        value storage order.  This is what sparse structural analyses
+        (e.g. the SpGEMM output-size estimate in
+        :mod:`repro.sim.memory`) use instead of densifying.
+        """
+        if self.nnz == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        tile_id = self.tile_ids().astype(np.int64)
+        tile_block = np.repeat(
+            np.arange(self.nblocks, dtype=np.int64), np.diff(self.tile_ptr)
+        )
+        elem_bits = (
+            (self.bitmap_lv2[:, None].astype(np.uint32)
+             >> np.arange(TILE * TILE, dtype=np.uint32)) & 1
+        ).astype(bool)
+        t_sel, e_sel = np.nonzero(elem_bits)
+        block_of = tile_block[t_sel]
+        brow_of_block = np.repeat(
+            np.arange(self.block_rows, dtype=np.int64), np.diff(self.row_ptr)
+        )
+        ti, tj = tile_id[t_sel] // TILES_PER_SIDE, tile_id[t_sel] % TILES_PER_SIDE
+        ei, ej = e_sel // TILE, e_sel % TILE
+        rows = brow_of_block[block_of] * BLOCK + ti * TILE + ei
+        cols = self.col_idx[block_of] * BLOCK + tj * TILE + ej
+        return rows, cols
 
     def block_bitmaps_all(self) -> np.ndarray:
         """All block occupancies as one (nblocks, 16, 16) boolean array.

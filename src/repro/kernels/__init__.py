@@ -1,6 +1,7 @@
 """Sparse kernels: golden CSR references, BBC block kernels, task streams."""
 
-from repro.kernels import bbc_kernels, reference, taskstream
+from repro.kernels import batched, bbc_kernels, reference, taskstream
+from repro.kernels.batched import TaskBatch, kernel_task_batches
 from repro.kernels.taskstream import kernel_tasks
 from repro.kernels.vector import SparseVector, dense_segment_mask
 
@@ -10,8 +11,11 @@ KERNELS = ("spmv", "spmspv", "spmm", "spgemm")
 __all__ = [
     "KERNELS",
     "SparseVector",
+    "TaskBatch",
+    "batched",
     "bbc_kernels",
     "dense_segment_mask",
+    "kernel_task_batches",
     "kernel_tasks",
     "reference",
     "taskstream",

@@ -11,11 +11,17 @@ generators implement the kernel dataflows of §V-A:
   task.
 - SpGEMM (Algorithm 2): row-by-row outer product — each A block (I, K)
   meets every stored B block in block row K.
+
+Every generator takes an optional ``rows`` range restricting it to a
+contiguous span of block rows — this is the single enumeration the
+multi-core partitioner (:mod:`repro.sim.parallel`) reuses, so the
+serial and per-core streams cannot drift.  For the vectorised
+array-of-bitmap-pairs equivalents see :mod:`repro.kernels.batched`.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -25,31 +31,57 @@ from repro.formats.bbc import BLOCK, BBCMatrix
 from repro.kernels.vector import SparseVector, dense_segment_mask
 
 
-def spmv_tasks(a: BBCMatrix) -> Iterator[T1Task]:
-    """Task stream of y = A @ x with dense x."""
+def _row_span(a: BBCMatrix, rows: Optional[range]) -> range:
+    if rows is None:
+        return range(a.block_rows)
+    if rows.step != 1:
+        raise ShapeError("block-row ranges must be contiguous (step 1)")
+    if len(rows) and (rows.start < 0 or rows.stop > a.block_rows):
+        raise ShapeError(f"block-row range {rows} outside 0..{a.block_rows}")
+    return rows
+
+
+def spmv_tasks(a: BBCMatrix, rows: Optional[range] = None) -> Iterator[T1Task]:
+    """Task stream of y = A @ x with dense x.
+
+    The 16x1 x-segment mask is computed once per *block column* and
+    reused by every block in that column (it only depends on where the
+    padded tail of x falls, not on the block).
+    """
     bitmaps = a.block_bitmaps_all()
     n = a.shape[1]
-    for _, bcol, idx in a.iter_blocks():
-        mask = dense_segment_mask(n, bcol, BLOCK)
-        if not mask.any():
-            continue
-        yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+    masks: dict = {}
+    for brow in _row_span(a, rows):
+        cols, idxs = a.block_row(brow)
+        for bcol, idx in zip(cols, idxs):
+            bcol = int(bcol)
+            mask = masks.get(bcol)
+            if mask is None:
+                mask = dense_segment_mask(n, bcol, BLOCK)
+                masks[bcol] = mask
+            if not mask.any():
+                continue
+            yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
 
 
-def spmspv_tasks(a: BBCMatrix, x: SparseVector) -> Iterator[T1Task]:
+def spmspv_tasks(a: BBCMatrix, x: SparseVector,
+                 rows: Optional[range] = None) -> Iterator[T1Task]:
     """Task stream of y = A @ x with sparse x; dead segments are skipped."""
     if x.n != a.shape[1]:
         raise ShapeError(f"x has length {x.n}, expected {a.shape[1]}")
     bitmaps = a.block_bitmaps_all()
     masks = {int(s): x.segment_mask(int(s), BLOCK) for s in x.nonempty_segments(BLOCK)}
-    for _, bcol, idx in a.iter_blocks():
-        mask = masks.get(bcol)
-        if mask is None:
-            continue
-        yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
+    for brow in _row_span(a, rows):
+        cols, idxs = a.block_row(brow)
+        for bcol, idx in zip(cols, idxs):
+            mask = masks.get(int(bcol))
+            if mask is None:
+                continue
+            yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
 
 
-def spmm_tasks(a: BBCMatrix, b_cols: int = 64) -> Iterator[T1Task]:
+def spmm_tasks(a: BBCMatrix, b_cols: int = 64,
+               rows: Optional[range] = None) -> Iterator[T1Task]:
     """Task stream of C = A @ B with dense B of ``b_cols`` columns.
 
     Every column panel of B is dense and identical in structure, so one
@@ -63,20 +95,23 @@ def spmm_tasks(a: BBCMatrix, b_cols: int = 64) -> Iterator[T1Task]:
     full_mask = np.ones((BLOCK, BLOCK), dtype=bool)
     tail_mask = np.zeros((BLOCK, BLOCK), dtype=bool)
     tail_mask[:, :tail] = True
-    for _, _, idx in a.iter_blocks():
-        if full_panels:
-            yield T1Task.from_bitmaps(bitmaps[idx], full_mask, weight=full_panels)
-        if tail:
-            yield T1Task.from_bitmaps(bitmaps[idx], tail_mask)
+    for brow in _row_span(a, rows):
+        _, idxs = a.block_row(brow)
+        for idx in idxs:
+            if full_panels:
+                yield T1Task.from_bitmaps(bitmaps[idx], full_mask, weight=full_panels)
+            if tail:
+                yield T1Task.from_bitmaps(bitmaps[idx], tail_mask)
 
 
-def spgemm_tasks(a: BBCMatrix, b: BBCMatrix) -> Iterator[T1Task]:
+def spgemm_tasks(a: BBCMatrix, b: BBCMatrix,
+                 rows: Optional[range] = None) -> Iterator[T1Task]:
     """Task stream of C = A @ B with both operands sparse."""
     if a.shape[1] != b.shape[0]:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     a_bitmaps = a.block_bitmaps_all()
     b_bitmaps = b.block_bitmaps_all()
-    for brow in range(a.block_rows):
+    for brow in _row_span(a, rows):
         a_cols, a_idx = a.block_row(brow)
         for bcol_a, idx_a in zip(a_cols, a_idx):
             if bcol_a >= b.block_rows:
@@ -87,23 +122,27 @@ def spgemm_tasks(a: BBCMatrix, b: BBCMatrix) -> Iterator[T1Task]:
                 yield T1Task.from_bitmaps(a_bits, b_bitmaps[idx_b])
 
 
-def kernel_tasks(kernel: str, a: BBCMatrix, **operands) -> Iterator[T1Task]:
+def kernel_tasks(kernel: str, a: BBCMatrix, rows: Optional[range] = None,
+                 **operands) -> Iterator[T1Task]:
     """Dispatch to the task generator for ``kernel`` by name.
 
     ``kernel`` is one of ``spmv``, ``spmspv`` (needs ``x``), ``spmm``
     (optional ``b_cols``, default 64) or ``spgemm`` (optional ``b``,
-    default A itself, i.e. the paper's C = A^2 setting).
+    default A itself, i.e. the paper's C = A^2 setting).  ``rows``
+    restricts enumeration to a contiguous block-row range — the hook
+    the static multi-core partitioner uses.
     """
     name = kernel.lower()
     if name == "spmv":
-        return spmv_tasks(a)
+        return spmv_tasks(a, rows=rows)
     if name == "spmspv":
         x = operands.get("x")
         if x is None:
             raise ShapeError("spmspv requires a sparse vector operand 'x'")
-        return spmspv_tasks(a, x)
+        return spmspv_tasks(a, x, rows=rows)
     if name == "spmm":
-        return spmm_tasks(a, operands.get("b_cols", 64))
+        return spmm_tasks(a, operands.get("b_cols", 64), rows=rows)
     if name == "spgemm":
-        return spgemm_tasks(a, operands.get("b", a))
+        b = operands.get("b")
+        return spgemm_tasks(a, b if b is not None else a, rows=rows)
     raise ShapeError(f"unknown kernel {kernel!r}")

@@ -1,0 +1,279 @@
+"""Wall-clock microbenchmarks for the engine's hot paths.
+
+Three sections, mirroring where corpus sweeps actually spend time:
+
+- **encode** — COO -> BBC conversion over the corpus;
+- **enumeration** — per-kernel T1 task stream construction, legacy
+  per-object generators vs the batched array builders (coalesce
+  included, so the batched numbers pay their full cost);
+- **corpus_sweep** — end-to-end ``simulate_kernel`` over a corpus,
+  legacy (``batched=False``) vs fast (default) path, each mode with
+  its own fresh shared cache so the comparison is cold-start fair.
+
+Timing is best-of-``repeat`` wall seconds (``time.perf_counter``);
+best-of suppresses scheduler noise without needing a quiet machine.
+The sweep section also cross-checks that both paths agree on total
+cycles/products/tasks — a benchmark that got faster by computing
+something else is a bug, not a win.
+
+``run_bench`` returns the report as a dict and optionally writes it as
+JSON; the CLI front-end is ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arch.unistc import UniSTC
+from repro.formats.bbc import BBCMatrix
+from repro.kernels import KERNELS
+from repro.kernels.batched import coalesce, kernel_task_batches
+from repro.kernels.taskstream import kernel_tasks
+from repro.kernels.vector import SparseVector
+from repro.sim.blockcache import BlockCache
+from repro.sim.engine import simulate_kernel
+from repro.workloads.suitesparse import MatrixSpec, corpus
+
+#: Report schema version; bump when the JSON layout changes.
+BENCH_SCHEMA = 1
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> float:
+    """Best-of-``repeat`` wall seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _operands_for(kernel: str, bbc: BBCMatrix, seed: int) -> Dict[str, object]:
+    """Deterministic non-matrix operands for one kernel invocation."""
+    if kernel == "spmspv":
+        rng = np.random.default_rng(seed)
+        dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
+        return {"x": SparseVector.from_dense(dense)}
+    if kernel == "spmm":
+        return {"b_cols": 64}
+    return {}
+
+
+def bench_encode(specs: Sequence[MatrixSpec], repeat: int) -> Dict[str, object]:
+    """Time COO -> BBC conversion across the corpus."""
+    coos = [(spec.name, spec.matrix()) for spec in specs]
+    total_nnz = sum(coo.nnz for _, coo in coos)
+
+    def encode_all() -> None:
+        for _, coo in coos:
+            BBCMatrix.from_coo(coo)
+
+    seconds = _best_of(encode_all, repeat)
+    return {
+        "matrices": len(coos),
+        "total_nnz": int(total_nnz),
+        "seconds": seconds,
+        "nnz_per_second": total_nnz / seconds if seconds else 0.0,
+    }
+
+
+def bench_enumeration(
+    mats: Sequence[Tuple[str, BBCMatrix]], repeat: int
+) -> Dict[str, Dict[str, object]]:
+    """Per-kernel task-stream construction: generator vs batched.
+
+    The batched column includes coalescing, so it reports the full
+    cost of producing the weighted unique-task stream the engine
+    actually consumes.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for kernel in KERNELS:
+        cases = [
+            (bbc, _operands_for(kernel, bbc, seed=i))
+            for i, (_, bbc) in enumerate(mats)
+        ]
+
+        def legacy() -> None:
+            for bbc, operands in cases:
+                for _ in kernel_tasks(kernel, bbc, **operands):
+                    pass
+
+        def batched() -> None:
+            for bbc, operands in cases:
+                for batch in kernel_task_batches(kernel, bbc, **operands):
+                    coalesce(batch)
+
+        total_tasks = sum(
+            batch.total_tasks
+            for bbc, operands in cases
+            for batch in kernel_task_batches(kernel, bbc, **operands)
+        )
+        legacy_s = _best_of(legacy, repeat)
+        batched_s = _best_of(batched, repeat)
+        out[kernel] = {
+            "tasks": int(total_tasks),
+            "legacy_seconds": legacy_s,
+            "batched_seconds": batched_s,
+            "speedup": legacy_s / batched_s if batched_s else 0.0,
+        }
+    return out
+
+
+def bench_corpus_sweep(
+    mats: Sequence[Tuple[str, BBCMatrix]],
+    kernels: Sequence[str],
+    repeat: int,
+) -> Dict[str, object]:
+    """End-to-end ``simulate_kernel`` sweep: legacy vs fast path.
+
+    Two regimes per mode, on the identical case list:
+
+    - **cold** — a fresh shared :class:`BlockCache`, so every distinct
+      block pattern pays one ``simulate_block`` call.  Cold time is
+      dominated by the STC models themselves, which both paths share.
+    - **warm** — the cache already holds every pattern, the regime a
+      sweep service actually runs in (``repro corpus`` persists and
+      pre-loads the cache via :mod:`repro.sim.cachestore` for exactly
+      this reason).  Warm time *is* the enumeration + aggregation
+      overhead this layer owns, so the headline ``speedup`` is the
+      warm ratio.
+
+    Totals (cycles / products / tasks) are cross-checked between the
+    modes — a disagreement invalidates the whole comparison.
+    """
+    cases = [
+        (name, bbc, kernel, _operands_for(kernel, bbc, seed=i))
+        for i, (name, bbc) in enumerate(mats)
+        for kernel in kernels
+    ]
+
+    def sweep(batched: bool, cache: BlockCache) -> Dict[str, int]:
+        totals = {"cycles": 0, "products": 0, "t1_tasks": 0}
+        for _, bbc, kernel, operands in cases:
+            report = simulate_kernel(
+                kernel, bbc, UniSTC(), batched=batched, cache=cache, **operands
+            )
+            totals["cycles"] += report.cycles
+            totals["products"] += report.products
+            totals["t1_tasks"] += report.t1_tasks
+        return totals
+
+    # Cold passes: each repetition gets a fresh cache (else it is not
+    # cold), capped at best-of-2 because the model cost dominating this
+    # phase makes it the bench's least sensitive — and most expensive —
+    # number.  The last fast pass's cache provides the (cold) stats
+    # snapshot and warms the cache for the timed warm passes below.
+    cold_repeat = min(2, max(1, repeat))
+    cold_legacy_s = cold_fast_s = float("inf")
+    legacy_totals = fast_totals = None
+    for _ in range(cold_repeat):
+        # Interleave the modes so CPU frequency drift biases neither.
+        t0 = time.perf_counter()
+        legacy_totals = sweep(batched=False, cache=BlockCache())
+        cold_legacy_s = min(cold_legacy_s, time.perf_counter() - t0)
+        warm_cache = BlockCache()
+        t0 = time.perf_counter()
+        fast_totals = sweep(batched=True, cache=warm_cache)
+        cold_fast_s = min(cold_fast_s, time.perf_counter() - t0)
+    stats = warm_cache.stats.as_dict() | {"entries": len(warm_cache)}
+
+    warm_legacy_s = _best_of(lambda: sweep(batched=False, cache=warm_cache), repeat)
+    warm_fast_s = _best_of(lambda: sweep(batched=True, cache=warm_cache), repeat)
+    return {
+        "cases": len(cases),
+        "kernels": list(kernels),
+        "cold": {
+            "legacy_seconds": cold_legacy_s,
+            "fast_seconds": cold_fast_s,
+            "speedup": cold_legacy_s / cold_fast_s if cold_fast_s else 0.0,
+        },
+        "warm": {
+            "legacy_seconds": warm_legacy_s,
+            "fast_seconds": warm_fast_s,
+            "speedup": warm_legacy_s / warm_fast_s if warm_fast_s else 0.0,
+        },
+        "speedup": warm_legacy_s / warm_fast_s if warm_fast_s else 0.0,
+        "totals_match": legacy_totals == fast_totals,
+        "totals": fast_totals,
+        "cache": stats,
+    }
+
+
+def run_bench(
+    out: Optional[Union[str, Path]] = None,
+    smoke: bool = False,
+    sizes: Tuple[int, ...] = (128, 256),
+    corpus_limit: Optional[int] = None,
+    kernels: Sequence[str] = KERNELS,
+    repeat: int = 3,
+) -> Dict[str, object]:
+    """Run every bench section and optionally write the JSON report.
+
+    ``smoke=True`` shrinks everything (tiny corpus, one repetition) so
+    CI can assert the harness runs end-to-end in seconds; its timings
+    are not meaningful, only its structure and cross-checks are.
+    """
+    if smoke:
+        sizes, corpus_limit, repeat = (128,), 4, 1
+    specs = corpus(sizes=sizes, limit=corpus_limit)
+    mats = [(spec.name, BBCMatrix.from_coo(spec.matrix())) for spec in specs]
+    report: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "smoke": smoke,
+            "sizes": list(sizes),
+            "corpus_limit": corpus_limit,
+            "repeat": repeat,
+            "kernels": list(kernels),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "encode": bench_encode(specs, repeat),
+        "enumeration": bench_enumeration(mats, repeat),
+        "corpus_sweep": bench_corpus_sweep(mats, kernels, repeat),
+    }
+    if out is not None:
+        Path(str(out)).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """Human-readable digest of a bench report."""
+    enc = report["encode"]
+    sweep = report["corpus_sweep"]
+    lines = [
+        f"encode: {enc['matrices']} matrices, {enc['total_nnz']} nnz "
+        f"in {enc['seconds']:.3f}s ({enc['nnz_per_second']:.3g} nnz/s)",
+        "enumeration (legacy -> batched):",
+    ]
+    for kernel, row in report["enumeration"].items():
+        lines.append(
+            f"  {kernel:7s} {row['tasks']:>9d} tasks  "
+            f"{row['legacy_seconds']:.3f}s -> {row['batched_seconds']:.3f}s  "
+            f"({row['speedup']:.1f}x)"
+        )
+    cold, warm = sweep["cold"], sweep["warm"]
+    lines.append(
+        f"corpus sweep ({sweep['cases']} cases, totals_match="
+        f"{sweep['totals_match']}):"
+    )
+    lines.append(
+        f"  cold  {cold['legacy_seconds']:.3f}s -> {cold['fast_seconds']:.3f}s "
+        f"({cold['speedup']:.1f}x)"
+    )
+    lines.append(
+        f"  warm  {warm['legacy_seconds']:.3f}s -> {warm['fast_seconds']:.3f}s "
+        f"({warm['speedup']:.1f}x)"
+    )
+    cache = sweep["cache"]
+    lines.append(
+        f"cache: {cache['entries']} entries, hit rate {cache['hit_rate']:.1%}, "
+        f"{cache['evictions']} evictions"
+    )
+    return "\n".join(lines)

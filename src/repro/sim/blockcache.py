@@ -1,0 +1,163 @@
+"""Bounded LRU memoisation for per-block simulation results.
+
+The engine memoises ``simulate_block`` on ``(model namespace, A bits,
+B bits)``.  The original implementation was an unbounded process-wide
+dict — fine for one matrix, a slow leak for a corpus-scale sweep
+service.  :class:`BlockCache` keeps the same mapping semantics behind
+a bounded LRU with observable hit/miss/eviction counters:
+
+- the **engine** goes through :meth:`lookup` / :meth:`insert`, which
+  update both the recency order and the statistics;
+- **persistence** (:mod:`repro.sim.cachestore`) and the
+  **fault-injection campaign** (:mod:`repro.resilience.faults`) use the
+  plain mapping protocol (``items()``, ``[]``, ``update`` ...), which
+  is statistics-neutral so bookkeeping traffic never skews the
+  measured hit rate.
+
+One instance is shared by every core of ``simulate_parallel`` and —
+via :mod:`repro.sim.cachestore` — persists between sweep cases and
+across processes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.arch.base import BlockResult
+from repro.errors import ConfigError
+
+#: Cache key: (model namespace, A bitmap bytes, B bitmap bytes).
+CacheKey = Tuple[str, bytes, bytes]
+
+#: Default entry bound.  A BlockResult plus key is a few hundred bytes,
+#: so the default caps resident cache memory around a hundred MB while
+#: holding far more distinct block patterns than any corpus sweep in
+#: the benchmark suite produces.
+DEFAULT_CAPACITY = 1 << 18
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one :class:`BlockCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups (0.0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.evictions = self.inserts = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (for JSON reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class BlockCache:
+    """A bounded LRU mapping from cache keys to :class:`BlockResult`.
+
+    ``capacity=None`` disables the bound (the legacy unbounded
+    behaviour, still useful for short-lived unit tests).
+    """
+
+    capacity: Optional[int] = DEFAULT_CAPACITY
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ConfigError("cache capacity must be positive (or None)")
+        self._data: "OrderedDict[CacheKey, BlockResult]" = OrderedDict()
+
+    # -- engine API (stats-aware) ----------------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[BlockResult]:
+        """Fetch a memoised result, refreshing its recency; None on miss."""
+        result = self._data.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def insert(self, key: CacheKey, result: BlockResult) -> None:
+        """Store a result as most-recent, evicting LRU entries if full."""
+        self._data[key] = result
+        self._data.move_to_end(key)
+        self.stats.inserts += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.capacity is None:
+            return
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- mapping protocol (stats-neutral) --------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[CacheKey]:
+        return iter(self._data)
+
+    def __getitem__(self, key: CacheKey) -> BlockResult:
+        return self._data[key]
+
+    def __setitem__(self, key: CacheKey, result: BlockResult) -> None:
+        self._data[key] = result
+        self._evict()
+
+    def get(self, key: CacheKey, default=None):
+        """Stats-neutral fetch (no recency update)."""
+        return self._data.get(key, default)
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def items(self):
+        return self._data.items()
+
+    def update(self, other) -> None:
+        """Bulk, stats-neutral merge (eviction bound still enforced)."""
+        self._data.update(other)
+        self._evict()
+
+    def clear(self, reset_stats: bool = True) -> None:
+        """Drop every entry; by default also zero the counters."""
+        self._data.clear()
+        if reset_stats:
+            self.stats.reset()
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else str(self.capacity)
+        return (f"BlockCache(entries={len(self._data)}, capacity={cap}, "
+                f"hit_rate={self.stats.hit_rate:.3f})")

@@ -53,7 +53,7 @@ def _payload_checksum(namespaces, a_bits, b_bits, scalars, bins, counters) -> in
 
 def save_cache(path: Union[str, Path]) -> int:
     """Persist the engine's current block cache; returns entries written."""
-    entries = list(engine._BLOCK_CACHE.items())
+    entries = list(engine.get_cache().items())
     keys = []
     scalars = np.zeros((len(entries), 2), dtype=np.int64)
     bins = np.zeros((len(entries), 4), dtype=np.int64)
@@ -127,6 +127,7 @@ def load_cache(path: Union[str, Path], merge: bool = True) -> int:
         raise FormatError(f"corrupt or unreadable cache file {path}: {exc}") from exc
     if not merge:
         engine.clear_cache()
+    cache = engine.get_cache()
     count = 0
     for i in range(n):
         key = (str(namespaces[i]), bytes(a_bits[i]), bytes(b_bits[i]))
@@ -134,7 +135,9 @@ def load_cache(path: Union[str, Path], merge: bool = True) -> int:
         counters = Counters()
         for j, action in enumerate(ACTIONS):
             counters.add(action, float(counter_matrix[i, j]))
-        engine._BLOCK_CACHE[key] = BlockResult(
+        # Stats-neutral mapping insert: loading a warm cache is not a
+        # simulation hit, and the LRU bound still applies.
+        cache[key] = BlockResult(
             cycles=int(scalars[i, 0]),
             products=int(scalars[i, 1]),
             util_hist=hist,

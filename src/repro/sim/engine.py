@@ -6,28 +6,58 @@ cycles / utilisation / counters / energy into a
 :class:`~repro.sim.results.SimReport`.
 
 Because STC models are pure functions of a task's bitmap pair, per-
-block results are memoised in a process-wide cache keyed by
-``(model.cache_key(), a_bits, b_bits)`` — the same tile patterns repeat
-heavily across a matrix and across a corpus, which is what makes
-corpus-scale sweeps tractable in Python.
+block results are memoised keyed by ``(model.cache_key(), a_bits,
+b_bits)`` — the same tile patterns repeat heavily across a matrix and
+across a corpus, which is what makes corpus-scale sweeps tractable in
+Python.  The memo lives in a bounded LRU
+(:class:`~repro.sim.blockcache.BlockCache`) with observable
+hit/miss/eviction statistics; one process-wide instance is shared by
+every core of ``simulate_parallel`` and persisted between sweep cases
+via :mod:`repro.sim.cachestore`.
+
+The default enumeration path is *batched*: tasks are built as
+array-of-bitmap-pairs (:mod:`repro.kernels.batched`), coalesced so
+each distinct pattern pair is simulated once, and aggregated with
+their combined weight — identical totals to the per-object generator
+path at a fraction of the Python overhead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
-from repro.arch.base import BlockResult, STCModel
+import numpy as np
+
+from repro.arch.base import STCModel
+from repro.arch.counters import ACTIONS
 from repro.arch.tasks import T1Task
 from repro.energy.model import DEFAULT_MODEL, EnergyModel
 from repro.formats.bbc import BBCMatrix
+from repro.kernels.batched import TaskBatch, coalesce_raw, kernel_task_batches
 from repro.kernels.taskstream import kernel_tasks
+from repro.sim.blockcache import BlockCache, CacheStats
 from repro.sim.results import SimReport
 
-_BLOCK_CACHE: Dict[Tuple[str, bytes, bytes], BlockResult] = {}
+#: The process-wide memo.  Kept under its historic name because the
+#: persistence layer and the fault-injection campaign address it via
+#: the mapping protocol; the engine itself uses the stats-aware
+#: ``lookup``/``insert`` API.
+_BLOCK_CACHE = BlockCache()
+
+
+def get_cache() -> BlockCache:
+    """The process-wide block-result cache instance."""
+    return _BLOCK_CACHE
+
+
+def set_cache_capacity(capacity: Optional[int]) -> None:
+    """Re-bound the process-wide cache (None = unbounded); evicts now."""
+    _BLOCK_CACHE.capacity = capacity
+    _BLOCK_CACHE._evict()
 
 
 def clear_cache() -> None:
-    """Drop all memoised per-block results (mainly for tests)."""
+    """Drop all memoised per-block results and reset the statistics."""
     _BLOCK_CACHE.clear()
 
 
@@ -36,22 +66,33 @@ def cache_size() -> int:
     return len(_BLOCK_CACHE)
 
 
+def cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the process-wide cache."""
+    return _BLOCK_CACHE.stats
+
+
 def simulate_tasks(
     stc: STCModel,
     tasks: Iterable[T1Task],
     kernel: str = "custom",
     energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
     matrix: Optional[str] = None,
+    cache: Optional[BlockCache] = None,
 ) -> SimReport:
-    """Run an explicit T1 task stream on one STC model."""
+    """Run an explicit T1 task stream on one STC model.
+
+    ``cache`` overrides the process-wide memo (used by tests that need
+    isolated caches and by ablations that compare cache policies).
+    """
+    memo = _BLOCK_CACHE if cache is None else cache
     report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
     namespace = stc.cache_key()
     for task in tasks:
         key = (namespace,) + task.cache_key()
-        result = _BLOCK_CACHE.get(key)
+        result = memo.lookup(key)
         if result is None:
             result = stc.simulate_block(task)
-            _BLOCK_CACHE[key] = result
+            memo.insert(key, result)
         weight = task.weight
         report.cycles += result.cycles * weight
         report.products += result.products * weight
@@ -64,12 +105,64 @@ def simulate_tasks(
     return report
 
 
+def simulate_batches(
+    stc: STCModel,
+    batches: Iterable[TaskBatch],
+    kernel: str = "custom",
+    energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
+    matrix: Optional[str] = None,
+    cache: Optional[BlockCache] = None,
+) -> SimReport:
+    """Run batched (array-of-bitmap-pairs) task streams on one model.
+
+    Each batch is coalesced so a distinct bitmap pair hits the model
+    (or the memo) exactly once with its aggregate weight, and
+    aggregation is a single weighted matrix product over the flattened
+    results (:meth:`~repro.arch.base.BlockResult.action_vector`) —
+    totals equal the per-task reference path exactly, without its
+    per-task ``merge`` calls.
+    """
+    memo = _BLOCK_CACHE if cache is None else cache
+    report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
+    namespace = stc.cache_key()
+    rows = []
+    weights = []
+    for batch in batches:
+        raw = coalesce_raw(batch)
+        a_bytes, b_bytes, n = raw.a_bytes, raw.b_bytes, raw.n
+        for ai, bi, weight in raw.pairs:
+            key = (namespace, a_bytes[ai], b_bytes[bi])
+            result = memo.lookup(key)
+            if result is None:
+                task = T1Task(a_bytes[ai], b_bytes[bi], n=n, weight=weight)
+                result = stc.simulate_block(task)
+                memo.insert(key, result)
+            rows.append(result.action_vector())
+            weights.append(weight)
+    if rows:
+        w = np.asarray(weights, dtype=np.float64)
+        acc = w @ np.stack(rows)
+        report.cycles = int(round(acc[0]))
+        report.products = int(round(acc[1]))
+        report.t1_tasks = int(w.sum())
+        report.util_hist.bins += np.rint(acc[2:6]).astype(np.int64)
+        for j, action in enumerate(ACTIONS):
+            if acc[6 + j]:
+                report.counters.add(action, float(acc[6 + j]))
+    if energy_model is not None:
+        report.energy_breakdown = energy_model.breakdown(report.counters, stc.name)
+        report.energy_pj = sum(report.energy_breakdown.values())
+    return report
+
+
 def simulate_kernel(
     kernel: str,
     a: BBCMatrix,
     stc: STCModel,
     energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
     matrix: Optional[str] = None,
+    batched: bool = True,
+    cache: Optional[BlockCache] = None,
     **operands,
 ) -> SimReport:
     """Simulate one of the four sparse kernels on BBC operand(s).
@@ -78,6 +171,18 @@ def simulate_kernel(
     :class:`~repro.kernels.vector.SparseVector`) for SpMSpV, ``b_cols``
     for SpMM (default 64, the paper's setting), ``b`` (a second
     :class:`BBCMatrix`) for SpGEMM (default A, i.e. C = A^2).
+
+    ``batched=False`` falls back to the per-object generator path —
+    the reference implementation the batched one is tested against.
     """
+    if batched:
+        batches = kernel_task_batches(kernel, a, **operands)
+        return simulate_batches(
+            stc, batches, kernel=kernel.lower(), energy_model=energy_model,
+            matrix=matrix, cache=cache,
+        )
     tasks = kernel_tasks(kernel, a, **operands)
-    return simulate_tasks(stc, tasks, kernel=kernel, energy_model=energy_model, matrix=matrix)
+    return simulate_tasks(
+        stc, tasks, kernel=kernel.lower(), energy_model=energy_model,
+        matrix=matrix, cache=cache,
+    )

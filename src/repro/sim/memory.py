@@ -78,27 +78,64 @@ def kernel_traffic_bytes(
     return traffic
 
 
+def _csr_structure(m: BBCMatrix):
+    """(row_ptr, col_idx) of the structural CSR, decoded sparsely."""
+    import numpy as np
+
+    rows, cols = m.structural_coords()
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    row_ptr = np.zeros(m.shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=m.shape[0]), out=row_ptr[1:])
+    return row_ptr, cols
+
+
 def spgemm_output_nnz(a: BBCMatrix, b: Optional[BBCMatrix] = None) -> int:
     """Exact structural nnz of C = A @ B (boolean product).
 
     Used for SpGEMM write-back traffic: partial products accumulate
     on-chip, so only the final output elements cross to memory.
+
+    Computed as a sparse CSR boolean product: every structural flop
+    (A[i,k] != 0, B[k,j] != 0) is expanded to its output coordinate
+    and distinct coordinates are counted.  Memory scales with the
+    structural flop count — never the O(nrows x ncols) dense product
+    the old implementation allocated, which made the large end of the
+    corpus a crash waiting to happen.
     """
     import numpy as np
 
     other = b if b is not None else a
     if a.shape[1] != other.shape[0]:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {other.shape}")
-    # int64 accumulators: a uint8 product would wrap at 256 matched
-    # terms and silently undercount dense rows.
-    lhs = (a.to_dense() != 0).astype(np.int64)
-    rhs = (other.to_dense() != 0).astype(np.int64)
-    return int(np.count_nonzero(lhs @ rhs))
+    a_rows, a_cols = a.structural_coords()
+    if a_rows.size == 0:
+        return 0
+    b_row_ptr, b_cols = _csr_structure(other)
+    counts = b_row_ptr[a_cols + 1] - b_row_ptr[a_cols]
+    keep = counts > 0
+    if not np.any(keep):
+        return 0
+    a_rows, a_cols, counts = a_rows[keep], a_cols[keep], counts[keep]
+    ends = np.cumsum(counts)
+    offsets = np.arange(int(ends[-1]), dtype=np.int64) - np.repeat(ends - counts, counts)
+    out_cols = b_cols[np.repeat(b_row_ptr[a_cols], counts) + offsets]
+    out_rows = np.repeat(a_rows, counts)
+    # int64 coordinate keys cannot overflow for any matrix whose dense
+    # form would even be addressable.
+    keys = out_rows * np.int64(other.shape[1]) + out_cols
+    return int(np.unique(keys).size)
 
 
 def memory_cycles(traffic: Dict[str, float], config: MemoryConfig = DEFAULT_MEMORY) -> int:
-    """Cycles needed to move the given traffic at the configured bandwidth."""
+    """Cycles needed to move the given traffic at the configured bandwidth.
+
+    Zero traffic costs zero cycles (an empty invocation moves nothing);
+    any positive traffic costs at least one cycle (ceiling division).
+    """
     total = sum(traffic.values())
+    if total <= 0:
+        return 0
     return max(1, int(-(-total // config.bytes_per_cycle)))
 
 
@@ -111,6 +148,7 @@ class RooflineReport:
     compute_cycles: int
     memory_cycles: int
     traffic_bytes: float
+    products: int = 0
 
     @property
     def bound(self) -> str:
@@ -124,8 +162,14 @@ class RooflineReport:
 
     @property
     def arithmetic_intensity(self) -> float:
-        """Useful MACs per byte moved."""
-        return self.compute_cycles / self.traffic_bytes if self.traffic_bytes else 0.0
+        """Useful MACs per byte moved.
+
+        ``products`` (the effective multiply count the simulator
+        conserves across architectures) over the bytes moved — not
+        cycles per byte, which would make a *slower* architecture look
+        more "intense" on the same workload.
+        """
+        return self.products / self.traffic_bytes if self.traffic_bytes else 0.0
 
 
 def roofline(
@@ -155,4 +199,5 @@ def roofline(
         compute_cycles=report.cycles,
         memory_cycles=memory_cycles(traffic, config),
         traffic_bytes=sum(traffic.values()),
+        products=report.products,
     )

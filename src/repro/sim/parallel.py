@@ -7,6 +7,13 @@ equal work.  This module implements that partitioner over BBC block
 rows and simulates a kernel across ``n_cores`` independent STC
 instances: wall-clock cycles are the slowest core's (the parallel
 completion rule), energy is the sum.
+
+Per-core task enumeration delegates to the *same* batched builders the
+serial engine uses (:mod:`repro.kernels.batched`, restricted to the
+core's block-row range), so the serial and parallel task streams are
+one implementation and cannot drift.  All cores share one block-result
+memo (the engine's process-wide LRU, or an explicit ``cache``), so a
+pattern simulated on one core is a hit on every other.
 """
 
 from __future__ import annotations
@@ -17,12 +24,13 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.arch.base import STCModel
-from repro.arch.tasks import T1Task
 from repro.energy.model import DEFAULT_MODEL, EnergyModel
 from repro.errors import SimulationError
-from repro.formats.bbc import BLOCK, BBCMatrix
+from repro.formats.bbc import BBCMatrix
+from repro.kernels.batched import kernel_task_batches
 from repro.kernels.vector import SparseVector
-from repro.sim.engine import simulate_tasks
+from repro.sim.blockcache import BlockCache
+from repro.sim.engine import simulate_batches
 from repro.sim.results import SimReport
 
 
@@ -32,20 +40,23 @@ def block_row_work(a: BBCMatrix, kernel: str, b: Optional[BBCMatrix] = None) -> 
     SpMV/SpMSpV/SpMM work scales with a block row's stored nonzeros;
     SpGEMM work with the number of (A-block, B-block) pairs its blocks
     spawn — exactly what the `warpIndex` prefix arrays encode.
+    Vectorised: one segment-sum over stored blocks, no per-row loops.
     """
     work = np.zeros(a.block_rows, dtype=np.int64)
+    if a.nblocks == 0:
+        return work
+    row_of_block = np.repeat(
+        np.arange(a.block_rows, dtype=np.int64), np.diff(a.row_ptr)
+    )
     if kernel == "spgemm":
         other = b if b is not None else a
         b_row_blocks = np.diff(other.row_ptr)
-        for brow in range(a.block_rows):
-            cols, _ = a.block_row(brow)
-            valid = cols[cols < other.block_rows]
-            work[brow] = int(b_row_blocks[valid].sum()) if valid.size else 0
+        valid = a.col_idx < other.block_rows
+        safe_cols = np.minimum(a.col_idx, other.block_rows - 1)
+        per_block = np.where(valid, b_row_blocks[safe_cols], 0)
     else:
-        nnz_per_block = a.nnz_per_block()
-        for brow in range(a.block_rows):
-            _, idx = a.block_row(brow)
-            work[brow] = int(nnz_per_block[idx].sum())
+        per_block = a.nnz_per_block()
+    np.add.at(work, row_of_block, per_block.astype(np.int64))
     return work
 
 
@@ -104,65 +115,6 @@ class ParallelReport:
         return self.total_cycles / self.wall_cycles if self.wall_cycles else 1.0
 
 
-def _tasks_for_rows(
-    kernel: str,
-    a: BBCMatrix,
-    rows: range,
-    x: Optional[SparseVector],
-    b: Optional[BBCMatrix],
-    b_cols: int,
-):
-    """The T1 tasks of one block-row range (mirrors taskstream logic)."""
-    bitmaps = a.block_bitmaps_all()
-    if kernel == "spgemm":
-        other = b if b is not None else a
-        other_bitmaps = other.block_bitmaps_all()
-        for brow in rows:
-            cols, idxs = a.block_row(brow)
-            for bcol, idx in zip(cols, idxs):
-                if bcol >= other.block_rows:
-                    continue
-                _, b_idx = other.block_row(int(bcol))
-                for j in b_idx:
-                    yield T1Task.from_bitmaps(bitmaps[idx], other_bitmaps[j])
-        return
-    if kernel == "spmv":
-        from repro.kernels.vector import dense_segment_mask
-
-        for brow in rows:
-            cols, idxs = a.block_row(brow)
-            for bcol, idx in zip(cols, idxs):
-                mask = dense_segment_mask(a.shape[1], int(bcol), BLOCK)
-                if mask.any():
-                    yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
-        return
-    if kernel == "spmspv":
-        masks = {int(s): x.segment_mask(int(s), BLOCK) for s in x.nonempty_segments(BLOCK)}
-        for brow in rows:
-            cols, idxs = a.block_row(brow)
-            for bcol, idx in zip(cols, idxs):
-                mask = masks.get(int(bcol))
-                if mask is not None:
-                    yield T1Task.from_bitmaps(bitmaps[idx], mask[:, None])
-        return
-    if kernel == "spmm":
-        full_panels, tail = divmod(b_cols, BLOCK)
-        import numpy as _np
-
-        full = _np.ones((BLOCK, BLOCK), dtype=bool)
-        tail_mask = _np.zeros((BLOCK, BLOCK), dtype=bool)
-        tail_mask[:, :tail] = True
-        for brow in rows:
-            _, idxs = a.block_row(brow)
-            for idx in idxs:
-                if full_panels:
-                    yield T1Task.from_bitmaps(bitmaps[idx], full, weight=full_panels)
-                if tail:
-                    yield T1Task.from_bitmaps(bitmaps[idx], tail_mask)
-        return
-    raise SimulationError(f"unknown kernel {kernel!r}")
-
-
 def simulate_parallel(
     kernel: str,
     a: BBCMatrix,
@@ -172,23 +124,39 @@ def simulate_parallel(
     b: Optional[BBCMatrix] = None,
     b_cols: int = 64,
     energy_model: Optional[EnergyModel] = DEFAULT_MODEL,
+    cache: Optional[BlockCache] = None,
 ) -> ParallelReport:
     """Simulate one kernel across statically-balanced cores.
 
     ``stc_factory`` builds one model per core (models are stateless, so
     sharing one instance is also fine — the factory exists so per-core
-    configurations can differ in ablations).
+    configurations can differ in ablations).  The first core's instance
+    provides the report's display name; no throwaway model is built.
+    ``cache`` (default: the engine's process-wide LRU) is shared by all
+    cores.
     """
     kernel = kernel.lower()
+    if kernel not in ("spmv", "spmspv", "spmm", "spgemm"):
+        raise SimulationError(f"unknown kernel {kernel!r}")
     if kernel == "spmspv" and x is None:
         raise SimulationError("spmspv needs the sparse vector operand 'x'")
     work = block_row_work(a, kernel, b)
     parts = partition_block_rows(work, n_cores)
-    report = ParallelReport(kernel=kernel, stc=stc_factory().name, n_cores=n_cores)
-    for rows in parts:
-        stc = stc_factory()
-        tasks = _tasks_for_rows(kernel, a, rows, x, b, b_cols)
+    stcs = [stc_factory() for _ in parts]
+    operands = {}
+    if kernel == "spmspv":
+        operands["x"] = x
+    elif kernel == "spmm":
+        operands["b_cols"] = b_cols
+    elif kernel == "spgemm" and b is not None:
+        operands["b"] = b
+    report = ParallelReport(kernel=kernel, stc=stcs[0].name, n_cores=n_cores)
+    for stc, rows in zip(stcs, parts):
+        batches = kernel_task_batches(kernel, a, rows=rows, **operands)
         report.per_core.append(
-            simulate_tasks(stc, tasks, kernel=kernel, energy_model=energy_model)
+            simulate_batches(
+                stc, batches, kernel=kernel, energy_model=energy_model,
+                cache=cache,
+            )
         )
     return report

@@ -1,5 +1,6 @@
 """Tests for the memory/roofline model and the encoding-cost model."""
 
+import numpy as np
 import pytest
 
 from repro.arch.unistc import UniSTC
@@ -17,8 +18,9 @@ from repro.sim.memory import (
     kernel_traffic_bytes,
     memory_cycles,
     roofline,
+    spgemm_output_nnz,
 )
-from repro.workloads.synthetic import banded, random_uniform
+from repro.workloads.synthetic import banded, long_rows, random_uniform
 
 
 @pytest.fixture(scope="module")
@@ -60,8 +62,12 @@ class TestMemoryCycles:
     def test_bandwidth_division(self):
         assert memory_cycles({"read_a": 100.0}, MemoryConfig(bytes_per_cycle=10)) == 10
 
-    def test_minimum_one_cycle(self):
-        assert memory_cycles({"read_a": 0.0}) == 1
+    def test_zero_traffic_costs_zero_cycles(self):
+        assert memory_cycles({"read_a": 0.0}) == 0
+        assert memory_cycles({}) == 0
+
+    def test_positive_traffic_costs_at_least_one_cycle(self):
+        assert memory_cycles({"read_a": 0.5}) == 1
 
     def test_rejects_bad_bandwidth(self):
         with pytest.raises(ConfigError):
@@ -99,6 +105,60 @@ class TestRoofline:
     def test_arithmetic_intensity_positive(self, bbc):
         report = simulate_kernel("spmv", bbc, UniSTC())
         assert roofline(report, bbc).arithmetic_intensity > 0
+
+    def test_arithmetic_intensity_is_products_per_byte(self, bbc):
+        """AI must measure the workload, not the architecture's speed:
+        useful MACs over bytes moved, independent of compute cycles."""
+        report = simulate_kernel("spmv", bbc, UniSTC())
+        roof = roofline(report, bbc)
+        assert roof.products == report.products
+        assert roof.arithmetic_intensity == pytest.approx(
+            report.products / roof.traffic_bytes
+        )
+        slower = roofline(report, bbc, config=MemoryConfig(bytes_per_cycle=0.1))
+        assert slower.arithmetic_intensity == roof.arithmetic_intensity
+
+
+class TestSpGEMMOutputNnz:
+    """The sparse boolean product against the dense reference."""
+
+    def _dense_nnz(self, a, b):
+        return int(np.count_nonzero(
+            (a.to_dense() != 0).astype(np.int64) @ (b.to_dense() != 0).astype(np.int64)
+        ))
+
+    def test_matches_dense_on_small_matrices(self):
+        cases = [
+            (random_uniform(64, 80, 0.05, seed=1), random_uniform(80, 48, 0.08, seed=2)),
+            (banded(96, 8, 0.6, seed=3), banded(96, 12, 0.4, seed=4)),
+            (long_rows(64, heavy_rows=2, seed=5), random_uniform(64, 64, 0.02, seed=6)),
+        ]
+        for a_coo, b_coo in cases:
+            a, b = BBCMatrix.from_coo(a_coo), BBCMatrix.from_coo(b_coo)
+            assert spgemm_output_nnz(a, b) == self._dense_nnz(a, b)
+
+    def test_defaults_to_a_squared(self):
+        a = BBCMatrix.from_coo(banded(64, 8, 0.5, seed=7))
+        assert spgemm_output_nnz(a) == self._dense_nnz(a, a)
+
+    def test_empty_operand_yields_zero(self):
+        a = BBCMatrix.from_coo(random_uniform(64, 64, 0.0, seed=1))
+        dense = BBCMatrix.from_coo(random_uniform(64, 64, 0.2, seed=2))
+        assert spgemm_output_nnz(a, dense) == 0
+        assert spgemm_output_nnz(dense, a) == 0
+
+    def test_rejects_inner_mismatch(self):
+        a = BBCMatrix.from_coo(random_uniform(64, 80, 0.1, seed=1))
+        with pytest.raises(ShapeError):
+            spgemm_output_nnz(a, a)
+
+    def test_structural_coords_match_dense(self):
+        for coo in (random_uniform(80, 112, 0.06, seed=8), banded(96, 16, 0.5, seed=9)):
+            m = BBCMatrix.from_coo(coo)
+            rows, cols = m.structural_coords()
+            got = set(zip(rows.tolist(), cols.tolist()))
+            r, c = np.nonzero(m.to_dense())
+            assert got == set(zip(r.tolist(), c.tolist()))
 
 
 class TestEncodingCost:
