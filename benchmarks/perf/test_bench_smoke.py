@@ -45,6 +45,16 @@ def test_bench_smoke_report_structure(tmp_path):
     assert sweep["cache"]["entries"] > 0
     assert sweep["cache"]["inserts"] == sweep["cache"]["entries"]
 
+    ov = data["obs"]
+    assert ov["disabled_seconds"] > 0 and ov["enabled_seconds"] > 0
+    assert ov["spans_per_sweep"] > 0
+    assert ov["disabled_span_ns"] > 0
+    # The <2% budget for dormant instrumentation.  Computed from
+    # deterministic span counts x the measured null-span cost (not by
+    # differencing two noisy wall-clock runs), so it is stable enough
+    # to assert even in smoke mode.
+    assert ov["estimated_disabled_overhead_pct"] < 2.0
+
 
 def test_bench_cli_smoke(tmp_path, capsys):
     out = tmp_path / "cli_bench.json"

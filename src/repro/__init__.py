@@ -13,6 +13,8 @@ The package is organised in layers:
 - :mod:`repro.sim` — the kernel-level simulation engine and reports.
 - :mod:`repro.resilience` — fault-tolerant sweep execution (timeouts,
   retries, checkpoint/resume) and deterministic fault injection.
+- :mod:`repro.obs` — off-by-default metrics, span tracing (Chrome
+  ``trace_event`` / JSONL export) and profiling hooks.
 - :mod:`repro.energy` — Sparseloop-style energy accounting and the
   CACTI-style area model (EED metric).
 - :mod:`repro.workloads` — synthetic SuiteSparse/DLMC substitutes and
@@ -37,6 +39,7 @@ from repro import (
     energy,
     formats,
     kernels,
+    obs,
     resilience,
     sim,
     workloads,
@@ -62,6 +65,7 @@ __all__ = [
     "energy",
     "formats",
     "kernels",
+    "obs",
     "resilience",
     "sim",
     "simulate_kernel",

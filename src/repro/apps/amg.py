@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.apps.trace import KernelTrace
 from repro.errors import ConvergenceError, ShapeError
 from repro.formats.csr import CSRMatrix
@@ -140,7 +141,8 @@ class AMGSolver:
         self.trace = KernelTrace()
         self.levels: List[AMGLevel] = []
         self._coarse_dense: Optional[np.ndarray] = None
-        self._setup(a, theta, max_levels, coarse_size, smooth_prolongator)
+        with obs.span("amg_setup", n=a.shape[0], nnz=a.nnz):
+            self._setup(a, theta, max_levels, coarse_size, smooth_prolongator)
 
     # -- setup (SpGEMM-dominated) ------------------------------------------
 
@@ -251,11 +253,13 @@ class AMGSolver:
         if norm0 <= floor:
             return result
         for it in range(max_iterations):
-            x = self._vcycle(0, b, x)
-            res = float(np.linalg.norm(b - reference.spmv(a, x)))
+            with obs.span("amg_vcycle", iteration=it):
+                x = self._vcycle(0, b, x)
+                res = float(np.linalg.norm(b - reference.spmv(a, x)))
             self.trace.record("spmv", a, label="check")
             result.residuals.append(res)
             result.iterations = it + 1
+            obs.observe("amg.residual", res)
             if res <= max(tol * norm0, floor):
                 break
         result.solution = x

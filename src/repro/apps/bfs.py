@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.apps.trace import KernelTrace
 from repro.errors import ShapeError
 from repro.formats.csr import CSRMatrix
@@ -67,17 +68,21 @@ def bfs(
     while frontier.nnz:
         result.frontier_sizes.append(frontier.nnz)
         depth += 1
-        if frontier.density() <= pull_threshold:
-            reached = reference.spmspv(at, frontier)
-            if trace is not None:
-                trace.record("spmspv", at, x=frontier, label=f"push@{depth}")
-            result.push_steps += 1
-            candidate = reached.to_dense()
-        else:
-            candidate = reference.spmv(at, frontier.to_dense())
-            if trace is not None:
-                trace.record("spmv", at, label=f"pull@{depth}")
-            result.pull_steps += 1
+        push = frontier.density() <= pull_threshold
+        with obs.span("bfs_step", depth=depth, frontier=frontier.nnz,
+                      direction="push" if push else "pull"):
+            if push:
+                reached = reference.spmspv(at, frontier)
+                if trace is not None:
+                    trace.record("spmspv", at, x=frontier, label=f"push@{depth}")
+                result.push_steps += 1
+                candidate = reached.to_dense()
+            else:
+                candidate = reference.spmv(at, frontier.to_dense())
+                if trace is not None:
+                    trace.record("spmv", at, label=f"pull@{depth}")
+                result.pull_steps += 1
+        obs.observe("bfs.frontier", frontier.nnz)
         new = np.flatnonzero((candidate != 0) & (levels < 0))
         if new.size == 0:
             break

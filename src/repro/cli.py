@@ -8,6 +8,15 @@ Commands:
 - ``amg`` — build/solve an AMG hierarchy and replay its trace.
 - ``area`` — Table IX area breakdown for a DPG count.
 - ``trace`` — cycle-by-cycle dataflow walkthrough of one block.
+- ``corpus`` — Table VIII-style corpus sweep (fault-tolerant runner).
+- ``faults`` — seeded fault-injection campaign.
+- ``bench`` — hot-path microbenchmarks (encode/enumeration/sweep/obs).
+- ``profile`` — span-level profile of a kernel sweep.
+
+``kernels``, ``corpus``, ``bench``, ``faults`` and ``profile`` accept
+``--trace FILE`` (Chrome ``trace_event`` JSON for chrome://tracing, or
+JSONL with a ``.jsonl`` suffix) and ``--metrics FILE`` (metrics
+snapshot JSON); observability is off unless one of these is given.
 
 Matrices are named with compact specs:
 
@@ -26,6 +35,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.tables import render_table
 from repro.arch.config import UniSTCConfig
 from repro.arch.unistc import UniSTC
@@ -233,8 +243,13 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             if not ours:
                 continue
             row = compare(ours, bases, baseline.name)
+            # Wall time and cache behaviour ride on each SimReport (and
+            # on journaled entries), so these columns need no re-runs.
+            wall_s = sum(r.wall_s for r in ours + bases)
+            hit_rate = float(np.mean([r.cache_hit_rate for r in ours]))
             rows.append([kernel, f"vs {baseline.name}", row.avg_speedup,
-                         row.avg_energy_reduction, row.avg_efficiency, row.max_efficiency])
+                         row.avg_energy_reduction, row.avg_efficiency,
+                         row.max_efficiency, wall_s, 100 * hit_rate])
     print(f"{target.name} over a {len(specs)}-matrix corpus:")
     if summary.n_resumed:
         print(f"resumed {summary.n_resumed} journaled case(s) without re-simulating")
@@ -244,7 +259,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print(f"warning: {summary.n_failed} case(s) failed ({taxo}); "
               f"{len(dropped)} (matrix, kernel) pair(s) excluded from the averages")
     print(render_table(
-        ["kernel", "baseline", "Aver P", "Aver E", "Aver ExP", "Max ExP"], rows
+        ["kernel", "baseline", "Aver P", "Aver E", "Aver ExP", "Max ExP",
+         "wall_s", "cache_hit%"], rows
     ))
     return 0
 
@@ -320,6 +336,66 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a kernel sweep: where do cycles, cache hits and wall time go?
+
+    Always runs with observability on (``--trace``/``--metrics`` still
+    work for dumping the raw artifacts); prints an aggregated span
+    table plus per-case wall-time and cache-behaviour rows.
+    """
+    from repro.kernels.vector import SparseVector
+    from repro.sim.engine import simulate_kernel
+
+    if not obs.enabled():
+        obs.enable()
+    coo = parse_matrix_spec(args.matrix)
+    bbc = BBCMatrix.from_coo(coo)
+    stcs = _build_stcs(args.stc)
+    kernels = [k.strip() for k in args.kernel.split(",")]
+    case_rows = []
+    for _ in range(max(1, args.repeat)):
+        for kernel in kernels:
+            kwargs = {}
+            if kernel == "spmspv":
+                rng = np.random.default_rng(0)
+                dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
+                kwargs["x"] = SparseVector.from_dense(dense)
+            for stc in stcs:
+                report = simulate_kernel(kernel, bbc, stc,
+                                         matrix=args.matrix, **kwargs)
+                case_rows.append([
+                    kernel, stc.name, report.cycles,
+                    1e3 * report.wall_s, 100 * report.cache_hit_rate,
+                ])
+    print(f"profile of {args.matrix} ({bbc.nblocks} BBC blocks, "
+          f"{max(1, args.repeat)} repetition(s)):\n")
+    print(render_table(
+        ["kernel", "stc", "cycles", "wall (ms)", "cache hit (%)"], case_rows,
+    ))
+    rows = [[r["name"], r["count"], r["total_ms"], r["mean_us"], r["max_us"]]
+            for r in obs.tracer().summarise()[: args.top]]
+    print("\nhottest spans:")
+    print(render_table(
+        ["span", "count", "total (ms)", "mean (us)", "max (us)"], rows,
+    ))
+    return 0
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Attach the observability artifact flags to a subcommand."""
+    sub_parser.add_argument(
+        "--trace", default="", metavar="FILE",
+        help="record spans and write a Chrome trace_event JSON here "
+             "(open in chrome://tracing or Perfetto; a .jsonl suffix "
+             "writes line-delimited events instead)",
+    )
+    sub_parser.add_argument(
+        "--metrics", default="", metavar="FILE",
+        help="record counters/gauges/histograms and write the JSON "
+             "snapshot here",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -330,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--matrix", default="band:256:24:0.3")
     kernels.add_argument("--kernel", default="spmv,spgemm")
     kernels.add_argument("--stc", default="ds-stc,rm-stc,uni-stc")
+    _add_obs_flags(kernels)
     kernels.set_defaults(func=cmd_kernels)
 
     formats = sub.add_parser("formats", help="format-selection analysis")
@@ -378,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default="",
         help="block-result cache file; corrupt files warn and rebuild cold",
     )
+    _add_obs_flags(corpus_cmd)
     corpus_cmd.set_defaults(func=cmd_corpus)
 
     faults = sub.add_parser(
@@ -391,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds", default="",
         help="comma list of fault kinds (default: all kinds, round-robin)",
     )
+    _add_obs_flags(faults)
     faults.set_defaults(func=cmd_faults)
 
     paper = sub.add_parser(
@@ -416,7 +495,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=3,
         help="repetitions per timing (best-of, default 3)",
     )
+    _add_obs_flags(bench)
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a kernel sweep (span table, wall time, cache behaviour)",
+    )
+    profile.add_argument("--matrix", default="band:256:24:0.3")
+    profile.add_argument("--kernel", default="spmv,spgemm")
+    profile.add_argument("--stc", default="ds-stc,uni-stc")
+    profile.add_argument(
+        "--repeat", type=int, default=1,
+        help="simulate the grid this many times (warm-cache behaviour "
+             "shows from the second repetition on)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=12,
+        help="rows in the hottest-spans table",
+    )
+    _add_obs_flags(profile)
+    profile.set_defaults(func=cmd_profile)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured markdown from a benchmark JSON"
@@ -429,11 +528,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", "")
+    metrics_path = getattr(args, "metrics", "")
+    # ``profile`` switches observability on itself; for every other
+    # command it is opt-in via the artifact flags and off otherwise.
+    want_obs = bool(trace_path or metrics_path)
+    if want_obs:
+        obs.enable()
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_path:
+            if trace_path.endswith(".jsonl"):
+                obs.tracer().write_jsonl(trace_path)
+            else:
+                obs.tracer().write_chrome_trace(trace_path)
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
+        if metrics_path:
+            obs.metrics().write_json(metrics_path)
+            print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+        if want_obs or obs.enabled():
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

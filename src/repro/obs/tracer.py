@@ -1,0 +1,294 @@
+"""Span-based tracing with Chrome ``trace_event`` and JSONL exporters.
+
+A :class:`Tracer` records **spans** (named, attributed intervals) and
+**instant events** (zero-duration markers such as a retry or a cache
+eviction storm).  Spans nest via a per-thread stack, so
+
+.. code-block:: python
+
+    with tracer.span("sweep"):
+        with tracer.span("matrix", matrix="cant"):
+            ...
+
+produces parent/child records that Chrome's ``chrome://tracing`` (or
+Perfetto) renders as stacked bars per thread.  Two export formats:
+
+- :meth:`Tracer.chrome_trace` / :meth:`write_chrome_trace` — the
+  ``trace_event`` JSON object format (``{"traceEvents": [...]}``) with
+  complete (``"ph": "X"``) events for spans and instant (``"ph": "i"``)
+  events for markers; timestamps are microseconds from the tracer
+  epoch, as the format requires.
+- :meth:`write_jsonl` — one JSON object per line, append-friendly and
+  greppable, for log pipelines.
+
+The **disabled fast path** matters more than the enabled one: the
+module-level helpers in :mod:`repro.obs` return the shared
+:data:`NULL_SPAN` singleton without touching the tracer at all, so
+instrumented hot paths cost one attribute check when observability is
+off (<2% of warm-sweep time; measured by ``repro bench``'s ``obs``
+section).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+
+class _NullSpan:
+    """Shared no-op span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+
+#: The singleton handed out on every disabled ``span()`` call.
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    ts_us: float          # start, microseconds from tracer epoch
+    dur_us: float
+    tid: int
+    depth: int            # nesting depth on its thread (0 = root)
+    parent: Optional[str] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class EventRecord:
+    """One instant event."""
+
+    name: str
+    ts_us: float
+    tid: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """A live span; use as a context manager (or ``start()``/``finish()``)."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_ts_us", "_tid",
+                 "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+        self._ts_us = 0.0
+        self._tid = 0
+        self._depth = 0
+        self._parent: Optional[str] = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes on the live span."""
+        self.args.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event while this span is open."""
+        self._tracer.instant(name, **attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent = stack[-1].name if stack else None
+        self._depth = len(stack)
+        stack.append(self)
+        self._tid = threading.get_ident()
+        self._start = tracer.clock()
+        self._ts_us = (self._start - tracer.epoch) * 1e6
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        dur_us = (tracer.clock() - self._start) * 1e6
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:           # tolerate out-of-order exits
+            stack.remove(self)
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        record = SpanRecord(
+            name=self.name, ts_us=self._ts_us, dur_us=dur_us,
+            tid=self._tid, depth=self._depth, parent=self._parent,
+            args=self.args,
+        )
+        with tracer._lock:
+            tracer.spans.append(record)
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events; exports Chrome trace / JSONL."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.epoch = clock()
+        self.pid = os.getpid()
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a new (nested) span on the calling thread."""
+        return Span(self, name, attrs)
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration marker event."""
+        record = EventRecord(
+            name=name,
+            ts_us=(self.clock() - self.epoch) * 1e6,
+            tid=threading.get_ident(),
+            args=attrs,
+        )
+        with self._lock:
+            self.events.append(record)
+
+    def clear(self) -> None:
+        """Drop every recorded span and event (open spans keep running)."""
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
+
+    def merge(self, other: "Tracer") -> None:
+        """Adopt another tracer's finished records (per-worker join).
+
+        The other tracer's timestamps are re-based onto this tracer's
+        epoch so merged timelines line up.
+        """
+        shift_us = (other.epoch - self.epoch) * 1e6
+        with self._lock:
+            for span in other.spans:
+                self.spans.append(SpanRecord(
+                    name=span.name, ts_us=span.ts_us + shift_us,
+                    dur_us=span.dur_us, tid=span.tid, depth=span.depth,
+                    parent=span.parent, args=span.args,
+                ))
+            for event in other.events:
+                self.events.append(EventRecord(
+                    name=event.name, ts_us=event.ts_us + shift_us,
+                    tid=event.tid, args=event.args,
+                ))
+
+    # -- export -----------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The ``trace_event`` object-format document for chrome://tracing."""
+        trace_events: List[Dict[str, object]] = []
+        with self._lock:
+            for span in self.spans:
+                trace_events.append({
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.ts_us,
+                    "dur": span.dur_us,
+                    "pid": self.pid,
+                    "tid": span.tid,
+                    "args": dict(span.args),
+                })
+            for event in self.events:
+                trace_events.append({
+                    "name": event.name,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.ts_us,
+                    "pid": self.pid,
+                    "tid": event.tid,
+                    "args": dict(event.args),
+                })
+        trace_events.sort(key=lambda e: e["ts"])
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> None:
+        Path(str(path)).write_text(
+            json.dumps(self.chrome_trace(), indent=1) + "\n", encoding="utf-8"
+        )
+
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        """One JSON object per span/event, in timestamp order."""
+        rows: List[Dict[str, object]] = []
+        with self._lock:
+            for span in self.spans:
+                rows.append({
+                    "type": "span", "name": span.name, "ts_us": span.ts_us,
+                    "dur_us": span.dur_us, "tid": span.tid,
+                    "depth": span.depth, "parent": span.parent,
+                    "args": dict(span.args),
+                })
+            for event in self.events:
+                rows.append({
+                    "type": "event", "name": event.name, "ts_us": event.ts_us,
+                    "tid": event.tid, "args": dict(event.args),
+                })
+        rows.sort(key=lambda r: r["ts_us"])
+        with open(str(path), "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+
+    # -- analysis ---------------------------------------------------------
+
+    def summarise(self) -> List[Dict[str, object]]:
+        """Aggregate finished spans by name: count / total / mean / max.
+
+        Rows are sorted by total time descending — the ``repro
+        profile`` table.
+        """
+        agg: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            for span in self.spans:
+                row = agg.setdefault(
+                    span.name, {"count": 0, "total_us": 0.0, "max_us": 0.0}
+                )
+                row["count"] += 1
+                row["total_us"] += span.dur_us
+                row["max_us"] = max(row["max_us"], span.dur_us)
+        out = [
+            {
+                "name": name,
+                "count": int(row["count"]),
+                "total_ms": row["total_us"] / 1e3,
+                "mean_us": row["total_us"] / row["count"],
+                "max_us": row["max_us"],
+            }
+            for name, row in agg.items()
+        ]
+        out.sort(key=lambda r: r["total_ms"], reverse=True)
+        return out

@@ -8,7 +8,10 @@ Three sections, mirroring where corpus sweeps actually spend time:
   included, so the batched numbers pay their full cost);
 - **corpus_sweep** — end-to-end ``simulate_kernel`` over a corpus,
   legacy (``batched=False``) vs fast (default) path, each mode with
-  its own fresh shared cache so the comparison is cold-start fair.
+  its own fresh shared cache so the comparison is cold-start fair;
+- **obs** — the observability layer's cost: warm sweep with tracing
+  off vs on, plus the dormant null-span fast path measured directly
+  (the <2%-when-disabled budget from ``docs/observability.md``).
 
 Timing is best-of-``repeat`` wall seconds (``time.perf_counter``);
 best-of suppresses scheduler noise without needing a quiet machine.
@@ -30,6 +33,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.arch.unistc import UniSTC
 from repro.formats.bbc import BBCMatrix
 from repro.kernels import KERNELS
@@ -41,16 +45,24 @@ from repro.sim.engine import simulate_kernel
 from repro.workloads.suitesparse import MatrixSpec, corpus
 
 #: Report schema version; bump when the JSON layout changes.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 
-def _best_of(fn: Callable[[], object], repeat: int) -> float:
-    """Best-of-``repeat`` wall seconds for one call of ``fn``."""
+def _time_best(fn: Callable[[], object], repeat: int,
+               label: str = "timed") -> float:
+    """Best-of-``repeat`` wall seconds for one call of ``fn``.
+
+    The single timing helper every bench section goes through; each
+    repetition is also recorded as a ``bench:<label>`` span, so running
+    the harness under ``--trace`` yields a phase-by-phase timeline.
+    """
     best = float("inf")
     for _ in range(max(1, repeat)):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        with obs.span(f"bench:{label}"):
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
     return best
 
 
@@ -74,7 +86,7 @@ def bench_encode(specs: Sequence[MatrixSpec], repeat: int) -> Dict[str, object]:
         for _, coo in coos:
             BBCMatrix.from_coo(coo)
 
-    seconds = _best_of(encode_all, repeat)
+    seconds = _time_best(encode_all, repeat, label="encode")
     return {
         "matrices": len(coos),
         "total_nnz": int(total_nnz),
@@ -114,8 +126,8 @@ def bench_enumeration(
             for bbc, operands in cases
             for batch in kernel_task_batches(kernel, bbc, **operands)
         )
-        legacy_s = _best_of(legacy, repeat)
-        batched_s = _best_of(batched, repeat)
+        legacy_s = _time_best(legacy, repeat, label=f"enum_legacy:{kernel}")
+        batched_s = _time_best(batched, repeat, label=f"enum_batched:{kernel}")
         out[kernel] = {
             "tasks": int(total_tasks),
             "legacy_seconds": legacy_s,
@@ -169,22 +181,35 @@ def bench_corpus_sweep(
     # phase makes it the bench's least sensitive — and most expensive —
     # number.  The last fast pass's cache provides the (cold) stats
     # snapshot and warms the cache for the timed warm passes below.
+    # The modes are interleaved (best-of-1 calls inside the loop) so
+    # CPU frequency drift biases neither.
     cold_repeat = min(2, max(1, repeat))
     cold_legacy_s = cold_fast_s = float("inf")
-    legacy_totals = fast_totals = None
+    totals: Dict[str, Dict[str, int]] = {}
+    warm_cache = BlockCache()
     for _ in range(cold_repeat):
-        # Interleave the modes so CPU frequency drift biases neither.
-        t0 = time.perf_counter()
-        legacy_totals = sweep(batched=False, cache=BlockCache())
-        cold_legacy_s = min(cold_legacy_s, time.perf_counter() - t0)
+        cold_legacy_s = min(cold_legacy_s, _time_best(
+            lambda: totals.__setitem__(
+                "legacy", sweep(batched=False, cache=BlockCache())),
+            1, label="sweep_cold_legacy",
+        ))
         warm_cache = BlockCache()
-        t0 = time.perf_counter()
-        fast_totals = sweep(batched=True, cache=warm_cache)
-        cold_fast_s = min(cold_fast_s, time.perf_counter() - t0)
+        cold_fast_s = min(cold_fast_s, _time_best(
+            lambda: totals.__setitem__(
+                "fast", sweep(batched=True, cache=warm_cache)),
+            1, label="sweep_cold_fast",
+        ))
+    legacy_totals, fast_totals = totals["legacy"], totals["fast"]
     stats = warm_cache.stats.as_dict() | {"entries": len(warm_cache)}
 
-    warm_legacy_s = _best_of(lambda: sweep(batched=False, cache=warm_cache), repeat)
-    warm_fast_s = _best_of(lambda: sweep(batched=True, cache=warm_cache), repeat)
+    warm_legacy_s = _time_best(
+        lambda: sweep(batched=False, cache=warm_cache), repeat,
+        label="sweep_warm_legacy",
+    )
+    warm_fast_s = _time_best(
+        lambda: sweep(batched=True, cache=warm_cache), repeat,
+        label="sweep_warm_fast",
+    )
     return {
         "cases": len(cases),
         "kernels": list(kernels),
@@ -202,6 +227,79 @@ def bench_corpus_sweep(
         "totals_match": legacy_totals == fast_totals,
         "totals": fast_totals,
         "cache": stats,
+    }
+
+
+def bench_obs_overhead(
+    mats: Sequence[Tuple[str, BBCMatrix]],
+    kernels: Sequence[str],
+    repeat: int,
+) -> Dict[str, object]:
+    """Cost of the observability layer on the warm fast sweep.
+
+    Three numbers, answering "can the instrumentation stay compiled
+    in?":
+
+    - ``disabled_seconds`` vs ``enabled_seconds`` — the warm fast
+      sweep with observability off (the default) and on (tracer
+      recording);
+    - ``disabled_span_ns`` — per-call cost of a dormant ``obs.span``
+      (the null fast path), measured over 100k calls;
+    - ``estimated_disabled_overhead_pct`` — span call sites executed
+      per sweep x the dormant per-call cost, as a percentage of the
+      sweep's wall time.  This is the honest "what does the dormant
+      instrumentation cost" figure (<2% is the budget); it is computed
+      from deterministic counts rather than differencing two noisy
+      wall-clock measurements of the same code path.
+    """
+    cases = [
+        (name, bbc, kernel, _operands_for(kernel, bbc, seed=i))
+        for i, (name, bbc) in enumerate(mats)
+        for kernel in kernels
+    ]
+    cache = BlockCache()
+
+    def sweep() -> None:
+        for _, bbc, kernel, operands in cases:
+            simulate_kernel(kernel, bbc, UniSTC(), cache=cache, **operands)
+
+    sweep()  # warm the shared cache; both regimes below are warm
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    disabled_s = _time_best(sweep, repeat, label="sweep_obs_disabled")
+
+    tracer = obs.enable(fresh=not was_enabled)
+    spans_before = len(tracer.spans)
+    enabled_s = _time_best(sweep, repeat, label="sweep_obs_enabled")
+    reps = max(1, repeat)
+    # Subtract the outer bench:* span each repetition adds itself.
+    spans_per_sweep = (len(tracer.spans) - spans_before - reps) / reps
+
+    obs.disable()
+    n_calls = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        with obs.span("noop"):
+            pass
+    disabled_span_ns = (time.perf_counter() - t0) / n_calls * 1e9
+
+    if was_enabled:
+        obs.enable(fresh=False)
+
+    estimated_pct = (
+        100.0 * spans_per_sweep * disabled_span_ns / (disabled_s * 1e9)
+        if disabled_s else 0.0
+    )
+    return {
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "enabled_overhead_pct": (
+            100.0 * (enabled_s / disabled_s - 1.0) if disabled_s else 0.0
+        ),
+        "spans_per_sweep": spans_per_sweep,
+        "disabled_span_ns": disabled_span_ns,
+        "estimated_disabled_overhead_pct": estimated_pct,
     }
 
 
@@ -237,6 +335,7 @@ def run_bench(
         "encode": bench_encode(specs, repeat),
         "enumeration": bench_enumeration(mats, repeat),
         "corpus_sweep": bench_corpus_sweep(mats, kernels, repeat),
+        "obs": bench_obs_overhead(mats, kernels, repeat),
     }
     if out is not None:
         Path(str(out)).write_text(json.dumps(report, indent=2) + "\n")
@@ -276,4 +375,12 @@ def render_summary(report: Dict[str, object]) -> str:
         f"cache: {cache['entries']} entries, hit rate {cache['hit_rate']:.1%}, "
         f"{cache['evictions']} evictions"
     )
+    ov = report.get("obs")
+    if ov:
+        lines.append(
+            f"obs: dormant span {ov['disabled_span_ns']:.0f}ns x "
+            f"{ov['spans_per_sweep']:.0f}/sweep = "
+            f"{ov['estimated_disabled_overhead_pct']:.3f}% overhead when off; "
+            f"{ov['enabled_overhead_pct']:+.1f}% when tracing"
+        )
     return "\n".join(lines)

@@ -36,6 +36,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     CaseTimeoutError,
     CheckpointError,
@@ -178,6 +179,8 @@ def _report_to_json(report: SimReport) -> dict:
         "counters": report.counters.as_dict(),
         "energy_pj": float(report.energy_pj),
         "energy_breakdown": {k: float(v) for k, v in report.energy_breakdown.items()},
+        "wall_s": float(report.wall_s),
+        "cache": {k: float(v) for k, v in report.cache.items()},
     }
 
 
@@ -193,6 +196,9 @@ def _report_from_json(data: dict) -> SimReport:
         counters=Counters(data["counters"]),
         energy_pj=float(data["energy_pj"]),
         energy_breakdown={k: float(v) for k, v in data["energy_breakdown"].items()},
+        # Absent in journals written before the observability layer.
+        wall_s=float(data.get("wall_s", 0.0)),
+        cache={k: float(v) for k, v in data.get("cache", {}).items()},
     )
     return report
 
@@ -345,16 +351,28 @@ class ResilientRunner:
         while True:
             attempts += 1
             try:
-                result = self._run_with_timeout(case)
+                with obs.span("case_attempt", matrix=case.matrix_name,
+                              kernel=case.kernel, stc=case.stc_name,
+                              attempt=attempts):
+                    result = self._run_with_timeout(case)
                 return CaseOutcome(
                     case=case, status="ok", report=result.report,
                     attempts=attempts, elapsed_s=self.clock() - start,
                 )
             except Exception as exc:  # noqa: BLE001 - isolation is the point
                 taxonomy = classify_error(exc)
+                if taxonomy == "timeout":
+                    obs.event("timeout", matrix=case.matrix_name,
+                              kernel=case.kernel, stc=case.stc_name,
+                              budget_s=self.timeout_s)
                 retries_left = self.retry.max_retries - (attempts - 1)
                 if taxonomy in self.retry.retryable and retries_left > 0:
                     delay = self.retry.delay(attempts - 1, rng)
+                    obs.event("retry", matrix=case.matrix_name,
+                              kernel=case.kernel, stc=case.stc_name,
+                              taxonomy=taxonomy, attempt=attempts,
+                              delay_s=round(delay, 6))
+                    obs.inc("runner.retries", taxonomy=taxonomy)
                     logger.warning(
                         "case (%s, %s, %s) failed [%s: %s]; retrying in %.3fs "
                         "(%d retr%s left)",
@@ -364,6 +382,7 @@ class ResilientRunner:
                     )
                     self.sleep(delay)
                     continue
+                obs.inc("runner.failures", taxonomy=taxonomy)
                 logger.warning(
                     "case (%s, %s, %s) failed permanently after %d attempt%s "
                     "[%s: %s]",
@@ -417,23 +436,25 @@ class ResilientRunner:
                 journal_handle.flush()
 
         summary = RunSummary()
+        sweep_span = obs.span("sweep", cases=len(cases), resilient=True)
         try:
-            for case in cases:
-                prior = journaled.get(_case_key(case))
-                if prior is not None and prior.status == "ok":
-                    summary.outcomes.append(prior)
+            with sweep_span:
+                for case in cases:
+                    prior = journaled.get(_case_key(case))
+                    if prior is not None and prior.status == "ok":
+                        summary.outcomes.append(prior)
+                        if progress is not None:
+                            progress(prior)
+                        continue
+                    outcome = self._run_case(case, rng)
+                    summary.outcomes.append(outcome)
+                    if journal_handle is not None:
+                        journal_handle.write(
+                            json.dumps(self._journal_entry(outcome)) + "\n"
+                        )
+                        journal_handle.flush()
                     if progress is not None:
-                        progress(prior)
-                    continue
-                outcome = self._run_case(case, rng)
-                summary.outcomes.append(outcome)
-                if journal_handle is not None:
-                    journal_handle.write(
-                        json.dumps(self._journal_entry(outcome)) + "\n"
-                    )
-                    journal_handle.flush()
-                if progress is not None:
-                    progress(outcome)
+                        progress(outcome)
         finally:
             if journal_handle is not None:
                 journal_handle.close()

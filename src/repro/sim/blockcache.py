@@ -62,6 +62,28 @@ class CacheStats:
         """Zero every counter."""
         self.hits = self.misses = self.evictions = self.inserts = 0
 
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters.
+
+        Take one before a run and diff it afterwards with :meth:`delta`
+        to attribute hits/misses to that run alone — the process-wide
+        cache's counters otherwise accumulate across every run since
+        startup.
+        """
+        return CacheStats(
+            hits=self.hits, misses=self.misses,
+            evictions=self.evictions, inserts=self.inserts,
+        )
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated since the ``since`` snapshot."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+            inserts=self.inserts - since.inserts,
+        )
+
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (for JSON reports)."""
         return {

@@ -24,10 +24,12 @@ path at a fraction of the Python overhead.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.arch.base import STCModel
 from repro.arch.counters import ACTIONS
 from repro.arch.tasks import T1Task
@@ -67,7 +69,14 @@ def cache_size() -> int:
 
 
 def cache_stats() -> CacheStats:
-    """Hit/miss/eviction counters of the process-wide cache."""
+    """Hit/miss/eviction counters of the process-wide cache.
+
+    These are **lifetime** totals — they accumulate across every run
+    since process start (or the last ``clear_cache()``/``reset()``).
+    For per-run attribution use ``SimReport.cache``, which the engine
+    fills with a :meth:`CacheStats.snapshot`/:meth:`CacheStats.delta`
+    pair around each simulation.
+    """
     return _BLOCK_CACHE.stats
 
 
@@ -87,6 +96,8 @@ def simulate_tasks(
     memo = _BLOCK_CACHE if cache is None else cache
     report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
     namespace = stc.cache_key()
+    stats_before = memo.stats.snapshot()
+    t0 = perf_counter()
     for task in tasks:
         key = (namespace,) + task.cache_key()
         result = memo.lookup(key)
@@ -102,6 +113,7 @@ def simulate_tasks(
     if energy_model is not None:
         report.energy_breakdown = energy_model.breakdown(report.counters, stc.name)
         report.energy_pj = sum(report.energy_breakdown.values())
+    _finalise_run(report, memo, stats_before, perf_counter() - t0)
     return report
 
 
@@ -125,20 +137,23 @@ def simulate_batches(
     memo = _BLOCK_CACHE if cache is None else cache
     report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
     namespace = stc.cache_key()
+    stats_before = memo.stats.snapshot()
+    t0 = perf_counter()
     rows = []
     weights = []
-    for batch in batches:
-        raw = coalesce_raw(batch)
-        a_bytes, b_bytes, n = raw.a_bytes, raw.b_bytes, raw.n
-        for ai, bi, weight in raw.pairs:
-            key = (namespace, a_bytes[ai], b_bytes[bi])
-            result = memo.lookup(key)
-            if result is None:
-                task = T1Task(a_bytes[ai], b_bytes[bi], n=n, weight=weight)
-                result = stc.simulate_block(task)
-                memo.insert(key, result)
-            rows.append(result.action_vector())
-            weights.append(weight)
+    for index, batch in enumerate(batches):
+        with obs.span("batch", index=index, tasks=len(batch)):
+            raw = coalesce_raw(batch)
+            a_bytes, b_bytes, n = raw.a_bytes, raw.b_bytes, raw.n
+            for ai, bi, weight in raw.pairs:
+                key = (namespace, a_bytes[ai], b_bytes[bi])
+                result = memo.lookup(key)
+                if result is None:
+                    task = T1Task(a_bytes[ai], b_bytes[bi], n=n, weight=weight)
+                    result = stc.simulate_block(task)
+                    memo.insert(key, result)
+                rows.append(result.action_vector())
+                weights.append(weight)
     if rows:
         w = np.asarray(weights, dtype=np.float64)
         acc = w @ np.stack(rows)
@@ -152,7 +167,33 @@ def simulate_batches(
     if energy_model is not None:
         report.energy_breakdown = energy_model.breakdown(report.counters, stc.name)
         report.energy_pj = sum(report.energy_breakdown.values())
+    _finalise_run(report, memo, stats_before, perf_counter() - t0)
     return report
+
+
+def _finalise_run(
+    report: SimReport,
+    memo: BlockCache,
+    stats_before: CacheStats,
+    wall_s: float,
+) -> None:
+    """Attach per-run wall time and cache-counter deltas to a report.
+
+    Always on (two clock reads and four subtractions); the metric
+    emission below is gated on the observability switch.
+    """
+    report.wall_s = wall_s
+    delta = memo.stats.delta(stats_before)
+    report.cache = delta.as_dict()
+    if obs.enabled():
+        labels = {"kernel": report.kernel, "stc": report.stc}
+        obs.inc("sim.t1_tasks", report.t1_tasks, **labels)
+        obs.inc("sim.cycles", report.cycles, **labels)
+        obs.inc("sim.cache.hits", delta.hits, **labels)
+        obs.inc("sim.cache.misses", delta.misses, **labels)
+        obs.inc("sim.cache.evictions", delta.evictions, **labels)
+        obs.set_gauge("sim.cache.entries", len(memo))
+        obs.observe("sim.run_wall_s", wall_s, **labels)
 
 
 def simulate_kernel(
@@ -175,14 +216,16 @@ def simulate_kernel(
     ``batched=False`` falls back to the per-object generator path —
     the reference implementation the batched one is tested against.
     """
-    if batched:
-        batches = kernel_task_batches(kernel, a, **operands)
-        return simulate_batches(
-            stc, batches, kernel=kernel.lower(), energy_model=energy_model,
+    with obs.span("kernel", kernel=kernel.lower(), stc=stc.name,
+                  matrix=matrix, batched=batched):
+        if batched:
+            batches = kernel_task_batches(kernel, a, **operands)
+            return simulate_batches(
+                stc, batches, kernel=kernel.lower(), energy_model=energy_model,
+                matrix=matrix, cache=cache,
+            )
+        tasks = kernel_tasks(kernel, a, **operands)
+        return simulate_tasks(
+            stc, tasks, kernel=kernel.lower(), energy_model=energy_model,
             matrix=matrix, cache=cache,
         )
-    tasks = kernel_tasks(kernel, a, **operands)
-    return simulate_tasks(
-        stc, tasks, kernel=kernel.lower(), energy_model=energy_model,
-        matrix=matrix, cache=cache,
-    )

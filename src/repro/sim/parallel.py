@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.arch.base import STCModel
 from repro.energy.model import DEFAULT_MODEL, EnergyModel
 from repro.errors import SimulationError
@@ -103,6 +104,11 @@ class ParallelReport:
         return sum(r.energy_pj for r in self.per_core)
 
     @property
+    def wall_s(self) -> float:
+        """Host wall seconds summed over the per-core simulations."""
+        return sum(r.wall_s for r in self.per_core)
+
+    @property
     def load_imbalance(self) -> float:
         """max/mean core cycles; 1.0 = perfectly balanced."""
         cycles = [r.cycles for r in self.per_core if r.cycles]
@@ -151,12 +157,21 @@ def simulate_parallel(
     elif kernel == "spgemm" and b is not None:
         operands["b"] = b
     report = ParallelReport(kernel=kernel, stc=stcs[0].name, n_cores=n_cores)
-    for stc, rows in zip(stcs, parts):
-        batches = kernel_task_batches(kernel, a, rows=rows, **operands)
-        report.per_core.append(
-            simulate_batches(
-                stc, batches, kernel=kernel, energy_model=energy_model,
-                cache=cache,
-            )
-        )
+    with obs.span("parallel", kernel=kernel, stc=stcs[0].name,
+                  n_cores=n_cores):
+        for core, (stc, rows) in enumerate(zip(stcs, parts)):
+            with obs.span("core", core=core, rows_lo=rows.start,
+                          rows_hi=rows.stop):
+                core_report = simulate_batches(
+                    stc,
+                    kernel_task_batches(kernel, a, rows=rows, **operands),
+                    kernel=kernel, energy_model=energy_model, cache=cache,
+                )
+            report.per_core.append(core_report)
+            if obs.enabled():
+                obs.observe("parallel.core_wall_s", core_report.wall_s,
+                            kernel=kernel, core=core)
+    if obs.enabled():
+        obs.set_gauge("parallel.load_imbalance", report.load_imbalance,
+                      kernel=kernel)
     return report

@@ -26,6 +26,19 @@ class SimReport:
     energy_pj: float = 0.0
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
     matrix: Optional[str] = None
+    #: Wall-clock seconds this simulation took (host time, not model
+    #: cycles); always recorded — two clock reads per run.
+    wall_s: float = 0.0
+    #: Per-run block-cache counter deltas (hits/misses/evictions/
+    #: inserts/hit_rate), so sweeps attribute cache behaviour to the
+    #: right matrix instead of reading the ever-accumulating process
+    #: totals.
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """This run's block-cache hit rate (0.0 when untracked)."""
+        return float(self.cache.get("hit_rate", 0.0))
 
     @property
     def mean_utilisation(self) -> float:

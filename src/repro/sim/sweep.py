@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.arch.base import STCModel
 from repro.errors import SimulationError
 from repro.formats.bbc import BBCMatrix
@@ -77,7 +78,8 @@ class Sweep:
         if bbc is None:
             if matrix_name not in self.matrices:
                 raise SimulationError(f"unknown sweep matrix {matrix_name!r}")
-            bbc = BBCMatrix.from_coo(self.matrices[matrix_name])
+            with obs.span("encode", matrix=matrix_name):
+                bbc = BBCMatrix.from_coo(self.matrices[matrix_name])
             self._encoded[matrix_name] = bbc
         return bbc
 
@@ -90,31 +92,45 @@ class Sweep:
         """
         if case.stc_name not in self.stcs:
             raise SimulationError(f"unknown sweep STC {case.stc_name!r}")
-        bbc = self.encode(case.matrix_name)
-        kwargs = {}
-        if case.kernel == "spmspv":
-            kwargs["x"] = self._operand(case.matrix_name, bbc)
-        report = simulate_kernel(
-            case.kernel, bbc, self.stcs[case.stc_name](),
-            matrix=case.matrix_name, **kwargs
-        )
+        with obs.span("matrix", matrix=case.matrix_name, stc=case.stc_name,
+                      kernel=case.kernel):
+            bbc = self.encode(case.matrix_name)
+            kwargs = {}
+            if case.kernel == "spmspv":
+                kwargs["x"] = self._operand(case.matrix_name, bbc)
+            report = simulate_kernel(
+                case.kernel, bbc, self.stcs[case.stc_name](),
+                matrix=case.matrix_name, **kwargs
+            )
         return SweepResult(case=case, report=report)
 
     def run(self, progress: Optional[Callable[[SweepCase], None]] = None) -> List[SweepResult]:
         """Execute the whole grid; per-matrix encodings happen once."""
         results: List[SweepResult] = []
-        for case in self.cases():
-            if progress is not None:
-                progress(case)
-            results.append(self.run_case(case))
+        with obs.span("sweep", cases=len(self.cases())):
+            for case in self.cases():
+                if progress is not None:
+                    progress(case)
+                results.append(self.run_case(case))
         return results
 
 
+#: Column names matching :func:`rows_from_results`.
+ROW_COLUMNS = ["matrix", "kernel", "stc", "cycles", "util", "energy_pj",
+               "wall_s", "cache_hit_rate"]
+
+
 def rows_from_results(results: Iterable[SweepResult]) -> List[List]:
-    """Tidy rows (matrix, kernel, stc, cycles, util, energy) for tables."""
+    """Tidy rows (see :data:`ROW_COLUMNS`) for tables.
+
+    ``wall_s`` and ``cache_hit_rate`` come straight off each
+    :class:`SimReport` — attributing host time and block-cache
+    behaviour per case without re-running anything.
+    """
     return [
         [r.case.matrix_name, r.case.kernel, r.case.stc_name,
-         r.report.cycles, r.report.mean_utilisation, r.report.energy_pj]
+         r.report.cycles, r.report.mean_utilisation, r.report.energy_pj,
+         r.report.wall_s, r.report.cache_hit_rate]
         for r in results
     ]
 

@@ -1,0 +1,243 @@
+"""Tests for the span tracer, its exporters and the disabled fast path."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    """Every test starts with a fresh, disabled observability state."""
+    obs.enable(fresh=True)
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestSpans:
+    def test_records_duration_and_args(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", kernel="spmv"):
+            clock.tick(0.002)
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.dur_us == pytest.approx(2000.0)
+        assert span.args == {"kernel": "spmv"}
+        assert span.depth == 0 and span.parent is None
+
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["middle"].depth == 1
+        assert by_name["middle"].parent == "outer"
+        assert by_name["inner"].depth == 2
+        assert by_name["inner"].parent == "middle"
+        # Children finish (and are appended) before their parents.
+        assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+
+    def test_sibling_spans_share_depth(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["a"].depth == by_name["b"].depth == 1
+        assert by_name["a"].parent == by_name["b"].parent == "root"
+
+    def test_exception_annotates_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.args["error"] == "ValueError"
+
+    def test_set_attrs_on_live_span(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set(found=3)
+        assert tracer.spans[0].args["found"] == 3
+
+    def test_instant_events(self):
+        tracer = Tracer()
+        tracer.instant("retry", attempt=2)
+        (event,) = tracer.events
+        assert event.name == "retry" and event.args == {"attempt": 2}
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker_root"):
+                pass
+            done.set()
+
+        with tracer.span("main_root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {s.name: s for s in tracer.spans}
+        # The worker's span is a root on its own thread, not a child.
+        assert by_name["worker_root"].depth == 0
+        assert by_name["worker_root"].parent is None
+        assert by_name["worker_root"].tid != by_name["main_root"].tid
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        assert obs.span("anything", a=1) is NULL_SPAN
+        assert obs.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        with obs.span("x") as span:
+            span.set(a=1).event("e")
+        # No tracer state was touched.
+        assert obs.tracer().spans == []
+        assert obs.tracer().events == []
+
+    def test_metric_helpers_no_op(self):
+        obs.inc("c", 5)
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        snap = obs.metrics().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_enable_records_disable_stops(self):
+        obs.enable()
+        with obs.span("live"):
+            pass
+        obs.disable()
+        with obs.span("dead"):
+            pass
+        names = [s.name for s in obs.tracer().spans]
+        assert names == ["live"]
+
+    def test_enable_fresh_resets_tracer(self):
+        obs.enable()
+        with obs.span("old"):
+            pass
+        obs.enable(fresh=True)
+        assert obs.tracer().spans == []
+
+    def test_null_span_cost_is_negligible(self):
+        """10k dormant span calls must stay well under 0.1s (<10us each).
+
+        A very loose bound — the measured figure is ~1us — that still
+        fails hard if someone accidentally makes the disabled path
+        allocate or lock.
+        """
+        import time
+
+        t0 = time.perf_counter()
+        for _ in range(10_000):
+            with obs.span("noop", k=1):
+                pass
+        assert time.perf_counter() - t0 < 0.1
+
+
+class TestChromeExport:
+    def _traced(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("sweep"):
+            clock.tick(0.001)
+            with tracer.span("matrix", matrix="cant"):
+                clock.tick(0.002)
+            tracer.instant("retry", attempt=1)
+        return tracer
+
+    def test_trace_event_schema(self):
+        doc = self._traced().chrome_trace()
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 2 and len(instants) == 1
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid",
+                                  "tid", "args"}
+            assert isinstance(event["ts"], float)
+            assert event["dur"] >= 0
+        assert instants[0]["s"] == "t"  # instant scope is required
+
+    def test_events_sorted_by_timestamp(self):
+        doc = self._traced().chrome_trace()
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {
+            "sweep", "matrix", "retry"
+        }
+
+    def test_jsonl_export(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._traced().write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 3
+        spans = [r for r in rows if r["type"] == "span"]
+        events = [r for r in rows if r["type"] == "event"]
+        assert {s["name"] for s in spans} == {"sweep", "matrix"}
+        assert events[0]["name"] == "retry"
+        assert all("ts_us" in r for r in rows)
+
+
+class TestMergeAndSummarise:
+    def test_merge_rebases_epochs(self):
+        clock = FakeClock()
+        main = Tracer(clock=clock)
+        clock.tick(1.0)  # worker starts one second later
+        worker = Tracer(clock=clock)
+        with worker.span("w"):
+            clock.tick(0.001)
+        main.merge(worker)
+        (span,) = main.spans
+        # 1s epoch shift shows up in the merged timestamp.
+        assert span.ts_us == pytest.approx(1_000_000.0)
+        assert span.dur_us == pytest.approx(1000.0)
+
+    def test_summarise_aggregates_and_sorts(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for dur in (0.001, 0.003):
+            with tracer.span("hot"):
+                clock.tick(dur)
+        with tracer.span("cold"):
+            clock.tick(0.002)
+        rows = tracer.summarise()
+        assert [r["name"] for r in rows] == ["hot", "cold"]
+        hot = rows[0]
+        assert hot["count"] == 2
+        assert hot["total_ms"] == pytest.approx(4.0)
+        assert hot["mean_us"] == pytest.approx(2000.0)
+        assert hot["max_us"] == pytest.approx(3000.0)

@@ -164,9 +164,11 @@ class TestSweep:
         assert len(seen) == 8
 
     def test_rows(self, sweep):
+        from repro.sim.sweep import ROW_COLUMNS
+
         rows = rows_from_results(sweep.run())
         assert len(rows) == 8
-        assert all(len(r) == 6 for r in rows)
+        assert all(len(r) == len(ROW_COLUMNS) for r in rows)
 
     def test_geomean_speedups(self, sweep):
         results = sweep.run()
