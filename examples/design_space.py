@@ -2,21 +2,20 @@
 
 Walks the three architecture decisions the paper justifies — the
 4x4x4 T3 task (Table IV), the 8-DPG default (Fig. 22) and the area
-budget (Table IX) — using the same models the evaluation uses, so a
-user can re-run the paper's design reasoning under their own workload.
+budget (Table IX) — and then *searches* the same space with the
+``repro.dse`` engine instead of hand-replaying three points: a grid
+campaign over Table IV's tile candidates x Fig. 22's DPG counts on the
+'cant' stand-in, with the DS-STC baseline simulated once per workload
+cell (not once per swept config, the old version's mistake) and the
+paper's choices recovered as Pareto-frontier members.
 
 Run:  python examples/design_space.py
 """
 
 from repro.analysis.tables import print_table
-from repro.arch.config import UniSTCConfig
 from repro.arch.tradeoffs import best_tile_size, table_iv
-from repro.arch.unistc import UniSTC
-from repro.baselines import DsSTC
-from repro.energy.area import area_breakdown, die_percentage, eed, total_area_mm2
-from repro.formats.bbc import BBCMatrix
-from repro.sim.engine import simulate_kernel
-from repro.workloads.representative import build_matrix
+from repro.dse import Campaign, default_space, make_strategy
+from repro.energy.area import area_breakdown, die_percentage, total_area_mm2
 
 
 def main() -> None:
@@ -35,26 +34,49 @@ def main() -> None:
     )
     print(f"selected tile size: {best_tile_size(64)} (the paper's choice)")
 
-    # --- Fig. 22: how many DPGs -----------------------------------------
-    bbc = BBCMatrix.from_coo(build_matrix("cant", n=256))
-    ds = DsSTC()
+    # --- Table IV x Fig. 22 as one searched space ----------------------
+    # The default space is exactly the paper's design walk: tile in
+    # {2, 4, 8} x num_dpgs in {4, 8, 16} on 'cant' under SpMV + SpGEMM.
+    # The campaign simulates each candidate once, reuses one hoisted
+    # DS-STC baseline per workload cell, and extracts the Pareto
+    # frontier over {cycles, energy, area, EED}.
+    space = default_space()
+    result = Campaign(space, make_strategy("grid")).run()
+    print(f"\nsearched {space.n_configs} candidate configs x "
+          f"{len(space.matrices) * len(space.kernels)} workload cells "
+          f"({result.n_simulated} journal-grade evaluations, "
+          f"baselines hoisted per cell):")
+    print()
+    print(result.render_table())
+
+    # Fig. 22's read-out, recovered from the same campaign (per-kernel
+    # EED for the natively simulated tile=4 candidates) — no re-runs.
+    by_cell = {(dict(e.point.knobs).get("num_dpgs"), e.point.kernel): e
+               for e in result.evaluations
+               if dict(e.point.knobs).get("tile") == 4}
     rows = []
     for dpgs in (4, 8, 16):
-        config = (UniSTCConfig(num_dpgs=dpgs) if dpgs >= 8
-                  else UniSTCConfig(num_dpgs=dpgs, tile_queue_depth=2 * dpgs))
-        uni = UniSTC(config)
-        entry = [dpgs, total_area_mm2(config)]
-        for kernel in ("spmv", "spgemm"):
-            base = simulate_kernel(kernel, bbc, ds)
-            ours = simulate_kernel(kernel, bbc, uni)
-            entry.append(eed(ours.speedup_vs(base), ours.energy_reduction_vs(base),
-                             uni.name, config))
-        rows.append(entry)
+        spmv = by_cell.get((dpgs, "spmv"))
+        spgemm = by_cell.get((dpgs, "spgemm"))
+        if spmv is None or spgemm is None:
+            continue
+        rows.append([dpgs, spmv.area_mm2, spmv.eed, spgemm.eed])
     print_table(
         ["#DPGs", "area (mm^2)", "EED spmv", "EED spgemm"], rows,
         title="Fig. 22 — EED vs DPG count on 'cant' (paper: 8 is the balance point)",
         precision=3,
     )
+
+    frontier = result.frontier_knobs()
+    paper_choice = {"tile": 4, "num_dpgs": 8}
+    verdict = ("on the frontier" if paper_choice in frontier
+               else "NOT on the frontier")
+    print(f"\nPareto frontier ({len(frontier)} of {len(result.summaries)} "
+          f"candidates): "
+          + "; ".join(",".join(f"{k}={v}" for k, v in sorted(f.items()))
+                      for f in frontier))
+    print(f"paper's choice tile=4, num_dpgs=8: {verdict}")
+    print(f"knee point: {result.knee_summary.label()}")
 
     # --- Table IX: what the design costs -----------------------------------
     rows = [[module, area] for module, area in area_breakdown().items()]

@@ -78,6 +78,57 @@ def sparkline(values: Sequence[float]) -> str:
     return "".join(out)
 
 
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 14,
+    marks: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """ASCII scatter plot on a ``width`` x ``height`` character grid.
+
+    ``marks`` optionally gives one plot character per point (later
+    points overwrite earlier ones on a shared cell) — the DSE frontier
+    plot uses ``*`` for Pareto-optimal points, ``.`` for dominated ones
+    and ``@`` for the knee.  Degenerate ranges (all-equal coordinates)
+    collapse to the grid centre instead of dividing by zero.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must pair up")
+    if marks is not None and len(marks) != len(xs):
+        raise ValueError("marks must pair up with the points")
+    if not xs:
+        return title or ""
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    def _col(x: float) -> int:
+        if x_hi == x_lo:
+            return (width - 1) // 2
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def _row(y: float) -> int:
+        if y_hi == y_lo:
+            return (height - 1) // 2
+        return (height - 1) - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        mark = marks[i] if marks is not None else "."
+        grid[_row(y)][_col(x)] = (mark or ".")[0]
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_label} (top {y_hi:g}, bottom {y_lo:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)
+
+
 def histogram(
     bin_labels: Sequence[str],
     shares: Sequence[float],

@@ -39,6 +39,20 @@ FP16 = Precision("fp16", 16, 256)
 PRECISIONS = {p.name: p for p in (FP64, FP32, FP16)}
 
 
+def parse_precision(name: str) -> Precision:
+    """Look up a precision by CLI/space-spec name (``fp64``/``fp32``/``fp16``).
+
+    Raises :class:`ConfigError` for unknown names so a design-space
+    sweep rejects a typo at definition time instead of mid-campaign.
+    """
+    key = str(name).strip().lower()
+    if key not in PRECISIONS:
+        raise ConfigError(
+            f"unknown precision {name!r}; choose from {sorted(PRECISIONS)}"
+        )
+    return PRECISIONS[key]
+
+
 @dataclass(frozen=True)
 class UniSTCConfig:
     """Uni-STC architecture parameters (defaults = the paper's design).
@@ -73,12 +87,35 @@ class UniSTCConfig:
     accumulator_buffer_bytes: int = 1024
 
     def __post_init__(self) -> None:
+        # Every knob a design-space sweep can set is validated here, so
+        # a bad point fails at construction with a ConfigError the DSE
+        # evaluator can classify — never as a mid-simulation surprise.
+        if not isinstance(self.precision, Precision):
+            raise ConfigError(
+                f"precision must be a Precision, got {self.precision!r} "
+                "(use parse_precision() for names)"
+            )
         if self.num_dpgs <= 0:
             raise ConfigError(f"num_dpgs must be positive, got {self.num_dpgs}")
+        if self.tile <= 0:
+            raise ConfigError(f"tile must be positive, got {self.tile}")
+        if self.block <= 0:
+            raise ConfigError(f"block must be positive, got {self.block}")
         if self.block % self.tile:
             raise ConfigError(f"block {self.block} not divisible by tile {self.tile}")
+        if self.frequency_ghz <= 0:
+            raise ConfigError(
+                f"frequency_ghz must be positive, got {self.frequency_ghz}"
+            )
+        if self.tile_queue_depth <= 0 or self.dot_queue_depth <= 0:
+            raise ConfigError("queue depths must be positive")
         if self.tile_queue_depth < self.num_dpgs:
             raise ConfigError("tile queue must hold at least one task per DPG")
+        if self.dpg_wakeup_cycles < 0 or self.lookahead_cycles < 0:
+            raise ConfigError("wakeup/lookahead cycle counts cannot be negative")
+        if min(self.meta_buffer_bytes, self.matrix_a_buffer_bytes,
+               self.accumulator_buffer_bytes) < 0:
+            raise ConfigError("buffer capacities cannot be negative")
 
     @property
     def macs(self) -> int:

@@ -12,8 +12,10 @@ Commands:
 - ``faults`` — seeded fault-injection campaign.
 - ``bench`` — hot-path microbenchmarks (encode/enumeration/sweep/obs).
 - ``profile`` — span-level profile of a kernel sweep.
+- ``dse`` — design-space exploration: Pareto search over config knobs.
 
-``kernels``, ``corpus``, ``bench``, ``faults`` and ``profile`` accept
+``kernels``, ``corpus``, ``bench``, ``faults``, ``profile`` and
+``dse`` accept
 ``--trace FILE`` (Chrome ``trace_event`` JSON for chrome://tracing, or
 JSONL with a ``.jsonl`` suffix) and ``--metrics FILE`` (metrics
 snapshot JSON); observability is off unless one of these is given.
@@ -329,6 +331,71 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Design-space exploration: search configs, report the frontier.
+
+    The default space is the paper's own design walk (Table IV tile
+    candidates x Fig. 22 DPG counts on the 'cant' stand-in); pass
+    ``--space FILE`` for a custom JSON spec and/or ``--matrix`` /
+    ``--kernel`` to re-target the workload axes.  ``--checkpoint`` +
+    ``--resume`` replay journaled evaluations after an interrupted
+    campaign instead of re-simulating them.
+    """
+    import json as _json
+
+    from repro.dse import Campaign, DesignSpace, default_space, make_strategy
+
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint <path>")
+    if args.space:
+        try:
+            spec = _json.loads(open(args.space, "r", encoding="utf-8").read())
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read space spec {args.space}: {exc}") from exc
+    else:
+        spec = default_space().as_spec()
+    if args.matrix:
+        spec["matrices"] = [m.strip() for m in args.matrix.split(",") if m.strip()]
+    if args.kernel:
+        spec["kernels"] = [k.strip() for k in args.kernel.split(",") if k.strip()]
+    space = DesignSpace.from_spec(spec)
+    strategy = make_strategy(args.strategy, seed=args.seed, budget=args.budget)
+    campaign = Campaign(
+        space,
+        strategy,
+        n_cores=args.cores,
+        journal_path=args.checkpoint or None,
+        resume=args.resume,
+        cache_path=args.cache or None,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        max_retries=args.max_retries,
+    )
+    result = campaign.run()
+    print(f"dse campaign [{result.strategy}] over {space.n_configs} candidate "
+          f"config(s) x {len(space.matrices) * len(space.kernels)} workload "
+          f"cell(s): {len(result.summaries)} evaluated, "
+          f"{result.n_simulated} point(s) simulated, "
+          f"{result.n_resumed} replayed from the journal")
+    if result.failed:
+        print(f"warning: {len(result.failed)} candidate(s) failed and were "
+              f"excluded from the frontier")
+    if not result.summaries:
+        print("no candidate produced a complete evaluation")
+        return 1
+    print()
+    print(result.render_table())
+    if args.plot:
+        print()
+        print(result.render_plot())
+    knee = result.knee_summary
+    print(f"\nfrontier: {len(result.frontier)} of {len(result.summaries)} "
+          f"candidate(s); knee point: {knee.label()}")
+    if args.out:
+        result.write_json(args.out)
+        print(f"wrote frontier JSON to {args.out}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -516,6 +583,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(profile)
     profile.set_defaults(func=cmd_profile)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration (Pareto frontier over config knobs)",
+    )
+    dse.add_argument(
+        "--space", default="", metavar="FILE",
+        help="JSON space spec (default: the paper's Table IV x Fig. 22 walk)",
+    )
+    dse.add_argument(
+        "--matrix", default="",
+        help="override the space's matrices (comma list of matrix specs)",
+    )
+    dse.add_argument(
+        "--kernel", default="",
+        help="override the space's kernels (comma list)",
+    )
+    dse.add_argument(
+        "--strategy", default="grid", choices=["grid", "random", "evolve"],
+        help="search strategy (all deterministic under --seed)",
+    )
+    dse.add_argument(
+        "--budget", type=int, default=0,
+        help="max candidate configs to evaluate (0 = strategy default; "
+             "grid: whole space)",
+    )
+    dse.add_argument("--seed", type=int, default=0,
+                     help="seed for random/evolve sampling")
+    dse.add_argument(
+        "--cores", type=int, default=1,
+        help="simulate each evaluation across this many cores "
+             "(shared block cache)",
+    )
+    dse.add_argument(
+        "--checkpoint", default="",
+        help="evaluation journal (JSONL); every evaluated point is appended",
+    )
+    dse.add_argument(
+        "--resume", action="store_true",
+        help="replay journaled evaluations from --checkpoint instead of "
+             "re-simulating",
+    )
+    dse.add_argument(
+        "--cache", default="",
+        help="block-result cache file shared across evaluations",
+    )
+    dse.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-evaluation wall-clock budget in seconds (0 = unlimited)",
+    )
+    dse.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retry budget per evaluation for transient failures",
+    )
+    dse.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the deterministic frontier JSON artifact here",
+    )
+    dse.add_argument(
+        "--plot", action="store_true",
+        help="also print the ASCII cycles-vs-area frontier plot",
+    )
+    _add_obs_flags(dse)
+    dse.set_defaults(func=cmd_dse)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured markdown from a benchmark JSON"

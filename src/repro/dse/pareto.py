@@ -1,0 +1,117 @@
+"""Multi-objective analysis: dominance, Pareto frontier, knee point.
+
+Objectives follow the paper's design walk: minimise {cycles,
+energy_pj, area_mm2} and maximise EED.  Internally every objective is
+mapped to minimisation (maximised axes are negated) so dominance is a
+single element-wise comparison; the knee point is the frontier member
+closest (normalised Euclidean distance) to the utopia corner — the
+classic balance-point read of Fig. 22.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Objective name -> sense ("min" | "max"); definition order is the
+#: canonical axis order of frontier artifacts.
+OBJECTIVES: Dict[str, str] = {
+    "cycles": "min",
+    "energy_pj": "min",
+    "area_mm2": "min",
+    "eed": "max",
+}
+
+
+def _signed(values: Mapping[str, float],
+            objectives: Mapping[str, str]) -> Tuple[float, ...]:
+    """Project onto minimisation space in canonical objective order."""
+    out = []
+    for name, sense in objectives.items():
+        if name not in values:
+            raise ConfigError(f"candidate is missing objective {name!r}")
+        v = float(values[name])
+        out.append(-v if sense == "max" else v)
+    return tuple(out)
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              objectives: Mapping[str, str] = OBJECTIVES) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere, better somewhere."""
+    sa, sb = _signed(a, objectives), _signed(b, objectives)
+    return all(x <= y for x, y in zip(sa, sb)) and any(
+        x < y for x, y in zip(sa, sb)
+    )
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Indices into the candidate list: who survived, who leads."""
+
+    frontier: Tuple[int, ...]
+    knee: int
+
+
+def pareto_indices(candidates: Sequence[Mapping[str, float]],
+                   objectives: Mapping[str, str] = OBJECTIVES) -> List[int]:
+    """Indices of the non-dominated candidates, input order preserved.
+
+    Duplicate objective vectors all stay on the frontier (none strictly
+    dominates its twin), which keeps the result stable under reordering.
+    """
+    signed = [_signed(c, objectives) for c in candidates]
+    keep: List[int] = []
+    for i, si in enumerate(signed):
+        dominated = False
+        for j, sj in enumerate(signed):
+            if i == j:
+                continue
+            if all(y <= x for x, y in zip(si, sj)) and any(
+                y < x for x, y in zip(si, sj)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def knee_index(candidates: Sequence[Mapping[str, float]],
+               frontier: Sequence[int],
+               objectives: Mapping[str, str] = OBJECTIVES) -> int:
+    """The frontier member nearest the normalised utopia point.
+
+    Each objective is min-max normalised over *all* candidates; a
+    degenerate axis (all values equal) contributes zero distance.  Ties
+    break towards the earlier candidate index, keeping the knee
+    deterministic.
+    """
+    if not frontier:
+        raise ConfigError("cannot take the knee of an empty frontier")
+    signed = [_signed(c, objectives) for c in candidates]
+    n_axes = len(objectives)
+    lo = [min(s[a] for s in signed) for a in range(n_axes)]
+    hi = [max(s[a] for s in signed) for a in range(n_axes)]
+    best, best_dist = frontier[0], math.inf
+    for idx in frontier:
+        dist = 0.0
+        for a in range(n_axes):
+            span = hi[a] - lo[a]
+            if span > 0:
+                frac = (signed[idx][a] - lo[a]) / span
+                dist += frac * frac
+        dist = math.sqrt(dist)
+        if dist < best_dist:
+            best, best_dist = idx, dist
+    return best
+
+
+def pareto_front(candidates: Sequence[Mapping[str, float]],
+                 objectives: Mapping[str, str] = OBJECTIVES) -> FrontierResult:
+    """Frontier indices plus the knee, in one call."""
+    frontier = pareto_indices(candidates, objectives)
+    return FrontierResult(frontier=tuple(frontier),
+                          knee=knee_index(candidates, frontier, objectives))

@@ -1,0 +1,273 @@
+"""Declarative design-space definitions over Uni-STC knobs and workloads.
+
+A :class:`DesignSpace` is the cross product of two kinds of axes:
+
+- **config axes** — :class:`~repro.arch.config.UniSTCConfig` knobs the
+  paper's own design walk sweeps (``num_dpgs`` for Fig. 22, ``tile``
+  for Table IV, precision for the §VI-A budgets, the gating/ordering
+  flags for the ablations, queue depths for sizing);
+- **workload axes** — matrix specs (the compact CLI grammar of
+  :func:`repro.cli.parse_matrix_spec`) and kernel names.
+
+One *design point* is one fully-bound (config knobs, matrix, kernel)
+tuple.  Points are frozen, hashable and have a stable string key, so
+the evaluation journal, the block cache and the search strategies all
+agree on identity.  Every config knob is validated at definition time
+— an invalid value raises :class:`~repro.errors.ConfigError` before a
+campaign starts, not after an hour of simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.arch.config import UniSTCConfig, parse_precision
+from repro.errors import ConfigError
+
+#: Config knobs a space may sweep, with the coercion each applies.
+#: ``precision`` is carried by *name* in points/specs/journals and
+#: resolved to a :class:`Precision` only when a config is built.
+_KNOB_COERCE = {
+    "precision": lambda v: parse_precision(v).name,
+    "num_dpgs": int,
+    "tile": int,
+    "block": int,
+    "tile_queue_depth": int,
+    "dot_queue_depth": int,
+    "adaptive_ordering": bool,
+    "dynamic_gating": bool,
+    "conflict_stall": bool,
+    "dpg_wakeup_cycles": int,
+    "lookahead_cycles": int,
+}
+
+KNOWN_KNOBS = tuple(sorted(_KNOB_COERCE))
+
+KERNELS = ("spmv", "spmspv", "spmm", "spgemm")
+
+#: The simulator's native T3 tile side; other tile values are bridged
+#: analytically (see :func:`repro.dse.evaluate.tile_cycle_scale`).
+SIMULATED_TILE = 4
+
+
+def _coerce_knob(name: str, value):
+    if name not in _KNOB_COERCE:
+        raise ConfigError(
+            f"unknown design-space knob {name!r}; choose from {list(KNOWN_KNOBS)}"
+        )
+    try:
+        return _KNOB_COERCE[name](value)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"bad value {value!r} for knob {name!r}: {exc}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class DesignPoint:
+    """One fully-bound candidate: config knobs + one workload cell."""
+
+    matrix: str
+    kernel: str
+    knobs: Tuple[Tuple[str, object], ...]  # sorted (name, value) pairs
+
+    @property
+    def knob_dict(self) -> Dict[str, object]:
+        return dict(self.knobs)
+
+    def config(self) -> UniSTCConfig:
+        """Materialise the Uni-STC configuration this point describes.
+
+        Raises :class:`ConfigError` if the knob combination is invalid
+        (e.g. a tile that does not divide the block).  A queue depth
+        that was not swept explicitly widens to hold one task per DPG,
+        mirroring the Fig. 22 sweep's convention.
+        """
+        kwargs = dict(self.knobs)
+        if "precision" in kwargs:
+            kwargs["precision"] = parse_precision(str(kwargs["precision"]))
+        if "tile_queue_depth" not in kwargs and "num_dpgs" in kwargs:
+            kwargs["tile_queue_depth"] = max(16, 2 * int(kwargs["num_dpgs"]))
+        return UniSTCConfig(**kwargs)
+
+    def stc_name(self) -> str:
+        """Deterministic per-config identity (journal/cache namespace)."""
+        parts = [f"{k}={v}" for k, v in self.knobs]
+        return "uni-stc[" + ",".join(parts) + "]"
+
+    def key(self) -> str:
+        """Stable identity of the full point, workload included."""
+        return f"{self.stc_name()}|{self.kernel}|{self.matrix}"
+
+    def as_json(self) -> dict:
+        return {"matrix": self.matrix, "kernel": self.kernel,
+                "knobs": dict(self.knobs)}
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The cross product of config axes and workload axes."""
+
+    config_axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+    matrices: Tuple[str, ...]
+    kernels: Tuple[str, ...]
+
+    @classmethod
+    def build(
+        cls,
+        config_axes: Mapping[str, Sequence[object]],
+        matrices: Sequence[str],
+        kernels: Sequence[str],
+    ) -> "DesignSpace":
+        """Validate and freeze a space definition.
+
+        Every axis value is coerced through its knob's validator, and
+        every *config-axis combination* is checked to build a valid
+        :class:`UniSTCConfig` — so the whole campaign is known to be
+        well-formed up front.
+        """
+        if not matrices:
+            raise ConfigError("a design space needs at least one matrix")
+        if not kernels:
+            raise ConfigError("a design space needs at least one kernel")
+        for kernel in kernels:
+            if kernel not in KERNELS:
+                raise ConfigError(
+                    f"unknown kernel {kernel!r}; choose from {list(KERNELS)}"
+                )
+        axes: List[Tuple[str, Tuple[object, ...]]] = []
+        for name in sorted(config_axes):
+            values = list(config_axes[name])
+            if not values:
+                raise ConfigError(f"axis {name!r} has no values")
+            coerced = []
+            for value in values:
+                c = _coerce_knob(name, value)
+                if c not in coerced:
+                    coerced.append(c)
+            axes.append((name, tuple(coerced)))
+        space = cls(config_axes=tuple(axes), matrices=tuple(matrices),
+                    kernels=tuple(kernels))
+        for combo in space.config_combinations():
+            DesignPoint(matrix=matrices[0], kernel=kernels[0], knobs=combo).config()
+        return space
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "DesignSpace":
+        """Parse the JSON space-spec format (see docs/design_space.md)."""
+        if not isinstance(spec, Mapping):
+            raise ConfigError("space spec must be a JSON object")
+        unknown = set(spec) - {"config", "matrices", "kernels"}
+        if unknown:
+            raise ConfigError(f"unknown space-spec sections: {sorted(unknown)}")
+        config = spec.get("config", {})
+        if not isinstance(config, Mapping):
+            raise ConfigError("space spec 'config' must map knob -> value list")
+        return cls.build(
+            config_axes={k: v if isinstance(v, (list, tuple)) else [v]
+                         for k, v in config.items()},
+            matrices=list(spec.get("matrices", [])),
+            kernels=list(spec.get("kernels", [])),
+        )
+
+    def as_spec(self) -> dict:
+        return {
+            "config": {name: list(values) for name, values in self.config_axes},
+            "matrices": list(self.matrices),
+            "kernels": list(self.kernels),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the space definition (journal binding)."""
+        blob = json.dumps(self.as_spec(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @property
+    def n_configs(self) -> int:
+        n = 1
+        for _, values in self.config_axes:
+            n *= len(values)
+        return n
+
+    @property
+    def size(self) -> int:
+        """Total number of design points in the space."""
+        return self.n_configs * len(self.matrices) * len(self.kernels)
+
+    def config_combinations(self) -> Iterator[Tuple[Tuple[str, object], ...]]:
+        """Every config-knob combination, in deterministic axis order."""
+        def rec(i: int, acc: List[Tuple[str, object]]):
+            if i == len(self.config_axes):
+                yield tuple(acc)
+                return
+            name, values = self.config_axes[i]
+            for value in values:
+                yield from rec(i + 1, acc + [(name, value)])
+        yield from rec(0, [])
+
+    def candidates(self) -> List[Tuple[Tuple[str, object], ...]]:
+        """Every candidate config (sorted knob tuples), in order.
+
+        A *candidate* is what the search strategies propose and the
+        frontier ranks; evaluating one candidate runs it over every
+        workload cell of the space (:meth:`expand`).
+        """
+        return list(self.config_combinations())
+
+    def expand(self, combo: Tuple[Tuple[str, object], ...]) -> List[DesignPoint]:
+        """The design points one candidate config must be evaluated on."""
+        combo = tuple(sorted(combo))
+        return [
+            DesignPoint(matrix=m, kernel=k, knobs=combo)
+            for m in self.matrices
+            for k in self.kernels
+        ]
+
+    def points(self) -> List[DesignPoint]:
+        """Every design point, deterministically ordered.
+
+        Config combinations are outermost so consecutive points share a
+        matrix encoding and a warm block cache.
+        """
+        return [
+            point
+            for combo in self.config_combinations()
+            for point in self.expand(combo)
+        ]
+
+    def neighbours(
+        self, combo: Tuple[Tuple[str, object], ...]
+    ) -> List[Tuple[Tuple[str, object], ...]]:
+        """Candidates one axis-step away (evolutionary mutation moves)."""
+        out: List[Tuple[Tuple[str, object], ...]] = []
+        knobs = dict(combo)
+        for name, values in self.config_axes:
+            idx = values.index(knobs[name]) if knobs.get(name) in values else 0
+            for step in (-1, 1):
+                j = idx + step
+                if 0 <= j < len(values) and values[j] != knobs.get(name):
+                    new = dict(knobs)
+                    new[name] = values[j]
+                    out.append(tuple(sorted(new.items())))
+        return out
+
+
+#: The space the paper's own design walk covers: Table IV's tile
+#: candidates x Fig. 22's DPG counts, evaluated on the 'cant'
+#: stand-in under the two headline sparse kernels.
+_DEFAULT_SPEC = {
+    "config": {
+        "tile": [2, 4, 8],
+        "num_dpgs": [4, 8, 16],
+    },
+    "matrices": ["rep:cant"],
+    "kernels": ["spmv", "spgemm"],
+}
+
+
+def default_space() -> DesignSpace:
+    """The paper's design walk as a ready-made space (18 points)."""
+    return DesignSpace.from_spec(_DEFAULT_SPEC)

@@ -1,0 +1,193 @@
+"""Search strategies over a :class:`~repro.dse.space.DesignSpace`.
+
+Strategies are *ask* interfaces: :meth:`SearchStrategy.propose` looks
+at every candidate evaluated so far and returns the next batch of
+candidate configs (empty = converged / budget spent).  A *candidate*
+is a sorted knob tuple (see :meth:`DesignSpace.candidates`); the
+campaign expands each one over the space's workload cells, evaluates,
+journals and aggregates — a strategy never touches the simulator.
+That separation is what makes a killed campaign resumable: replaying
+journaled evaluations reproduces the exact proposal sequence.
+
+All three strategies are deterministic.  Randomness comes only from
+``numpy.random.default_rng(seed)``, and evolutionary selection orders
+survivors by (fitness, stable key) so ties cannot reorder between
+runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dse.space import DesignSpace
+from repro.errors import ConfigError
+
+#: A candidate config: the sorted (knob, value) tuple strategies trade in.
+Candidate = Tuple[Tuple[str, object], ...]
+
+
+class SearchStrategy(ABC):
+    """Ask-only search driver; see the module docstring."""
+
+    #: CLI/artifact name of the strategy.
+    name: str = "strategy"
+
+    @abstractmethod
+    def propose(
+        self,
+        space: DesignSpace,
+        evaluated: Dict[Candidate, Optional[object]],
+    ) -> List[Candidate]:
+        """The next batch of unevaluated candidates (empty when done).
+
+        ``evaluated`` maps every candidate already visited to its
+        :class:`~repro.dse.campaign.ConfigSummary` (or ``None`` if it
+        failed) — strategies must treat failed candidates as visited.
+        """
+
+    def signature(self) -> str:
+        """Stable identity folded into the campaign fingerprint."""
+        return self.name
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive sweep in the space's deterministic candidate order.
+
+    ``budget`` > 0 truncates the sweep to a prefix of that order; 0
+    means the whole space.
+    """
+
+    name = "grid"
+
+    def __init__(self, budget: int = 0):
+        self.budget = int(budget)
+
+    def signature(self) -> str:
+        return f"grid:{self.budget}"
+
+    def propose(self, space, evaluated):
+        fresh = [c for c in space.candidates() if c not in evaluated]
+        if self.budget > 0:
+            cap = self.budget - len(evaluated)
+            if cap <= 0:
+                return []
+            fresh = fresh[:cap]
+        return fresh
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling without replacement, up to ``budget``."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, budget: int = 8):
+        if budget <= 0:
+            raise ConfigError("random search needs a positive --budget")
+        self.seed = int(seed)
+        self.budget = int(budget)
+
+    def signature(self) -> str:
+        return f"random:{self.seed}:{self.budget}"
+
+    def propose(self, space, evaluated):
+        if len(evaluated) >= self.budget:
+            return []
+        pool = space.candidates()
+        order = np.random.default_rng(self.seed).permutation(len(pool))
+        sample = [pool[int(i)] for i in order]
+        fresh = [c for c in sample if c not in evaluated]
+        return fresh[: self.budget - len(evaluated)]
+
+
+class EvolutionarySearch(SearchStrategy):
+    """Seeded (mu + lambda)-style evolutionary search for larger spaces.
+
+    Generation 0 is a random population; each later generation mutates
+    the best survivors one axis-step at a time
+    (:meth:`DesignSpace.neighbours`), topping up with fresh random
+    candidates when mutation stops producing unvisited ones.  The run
+    stops at ``budget`` evaluations or when the space is exhausted —
+    shrinking ``survivors`` gives the successive-halving flavour.
+    """
+
+    name = "evolve"
+
+    def __init__(self, seed: int = 0, budget: int = 12,
+                 population: int = 6, survivors: int = 3):
+        if budget <= 0:
+            raise ConfigError("evolutionary search needs a positive --budget")
+        if population <= 0 or survivors <= 0:
+            raise ConfigError("population and survivors must be positive")
+        self.seed = int(seed)
+        self.budget = int(budget)
+        self.population = int(population)
+        self.survivors = min(int(survivors), int(population))
+
+    def signature(self) -> str:
+        return (f"evolve:{self.seed}:{self.budget}:"
+                f"{self.population}:{self.survivors}")
+
+    @staticmethod
+    def _fitness(summary) -> float:
+        """Scalar selection score: EED, the paper's own balance metric."""
+        return float(getattr(summary, "eed", 0.0) or 0.0)
+
+    def _select(self, evaluated) -> List[Candidate]:
+        """Survivors: successful candidates by (EED desc, stable key)."""
+        scored = [
+            (self._fitness(summary), repr(candidate), candidate)
+            for candidate, summary in evaluated.items() if summary is not None
+        ]
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        return [candidate for _, _, candidate in scored[: self.survivors]]
+
+    def propose(self, space, evaluated):
+        remaining = self.budget - len(evaluated)
+        if remaining <= 0:
+            return []
+        pool = space.candidates()
+        if not evaluated:
+            order = np.random.default_rng(self.seed).permutation(len(pool))
+            seedbatch = [pool[int(i)] for i in order[: self.population]]
+            return seedbatch[:remaining]
+        batch: List[Candidate] = []
+        for parent in self._select(evaluated):
+            for child in space.neighbours(parent):
+                if child not in evaluated and child not in batch:
+                    batch.append(child)
+        # Top up with unvisited random candidates so the search cannot
+        # stall on a fully-explored neighbourhood.
+        if len(batch) < self.population:
+            fresh = [c for c in pool if c not in evaluated and c not in batch]
+            if fresh:
+                rng = np.random.default_rng(
+                    self.seed + 7919 * (len(evaluated) + 1)
+                )
+                for i in rng.permutation(len(fresh)):
+                    batch.append(fresh[int(i)])
+                    if len(batch) >= self.population:
+                        break
+        return batch[: min(remaining, self.population)]
+
+
+def make_strategy(name: str, seed: int = 0, budget: int = 0,
+                  population: int = 6, survivors: int = 3) -> SearchStrategy:
+    """Build a strategy from its CLI name."""
+    key = str(name).strip().lower()
+    if key in ("grid", "exhaustive"):
+        return GridSearch(budget=budget)
+    if key == "random":
+        return RandomSearch(seed=seed, budget=budget or 8)
+    if key in ("evolve", "evolutionary", "halving"):
+        return EvolutionarySearch(seed=seed, budget=budget or 12,
+                                  population=population, survivors=survivors)
+    raise ConfigError(
+        f"unknown search strategy {name!r}; choose from grid, random, evolve"
+    )
+
+
+def strategy_names() -> Sequence[str]:
+    return ("grid", "random", "evolve")

@@ -226,6 +226,13 @@ class ResilientRunner:
     backoff schedule without real waiting.  Jitter is drawn from a
     generator seeded with ``seed``, keeping retry schedules
     reproducible.
+
+    ``fingerprint`` overrides the grid fingerprint stamped into (and
+    demanded of) the journal header.  By default a journal is bound to
+    one exact grid; a caller that runs *several* grids against the same
+    journal — the DSE engine evaluates strategy-proposed batches
+    incrementally — passes a stable campaign fingerprint instead, so
+    every batch appends to, and resumes from, one shared journal.
     """
 
     sweep: Sweep
@@ -237,6 +244,7 @@ class ResilientRunner:
     seed: int = 0
     sleep: Callable[[float], None] = time.sleep
     clock: Callable[[], float] = time.monotonic
+    fingerprint: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -407,7 +415,7 @@ class ResilientRunner:
         """
         rng = np.random.default_rng(self.seed)
         cases = self.sweep.cases()
-        fingerprint = _grid_fingerprint(cases)
+        fingerprint = self.fingerprint or _grid_fingerprint(cases)
         if self.cache_path is not None:
             warm = cachestore.load_cache_or_cold(self.cache_path)
             if warm:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.ascii_plot import bar_chart, grouped_bar_chart, histogram, sparkline
+from repro.analysis.ascii_plot import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    scatter,
+    sparkline,
+)
 
 
 class TestBarChart:
@@ -58,6 +64,47 @@ class TestSparkline:
 
     def test_empty(self):
         assert sparkline([]) == ""
+
+
+class TestScatter:
+    def test_basic_grid(self):
+        out = scatter([0.0, 1.0], [0.0, 1.0], width=20, height=8)
+        lines = out.splitlines()
+        assert len(lines) >= 8
+        assert out.count(".") >= 2  # default mark (axis labels may add more)
+
+    def test_title_and_labels(self):
+        out = scatter([1.0], [2.0], title="T", x_label="area", y_label="cyc")
+        assert out.splitlines()[0] == "T"
+        assert "area" in out
+        assert "cyc" in out
+
+    def test_custom_marks(self):
+        out = scatter([0.0, 0.5, 1.0], [0.0, 0.5, 1.0], marks=["@", "*", "."])
+        assert "@" in out and "*" in out and "." in out
+
+    def test_later_points_overwrite(self):
+        out = scatter([0.5, 0.5], [0.5, 0.5], marks=["%", "@"])
+        assert "@" in out
+        assert "%" not in out
+
+    def test_degenerate_range_collapses_to_centre(self):
+        out = scatter([3.0, 3.0], [7.0, 7.0], marks=["*", "*"])
+        # One shared centre cell, no division by zero.
+        assert out.count("*") == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            scatter([1.0, 2.0], [1.0, 2.0], marks=["*"])
+
+    def test_empty(self):
+        assert scatter([], [], title="T") == "T"
+
+    def test_axis_extent_annotations(self):
+        out = scatter([1.0, 9.0], [10.0, 90.0])
+        assert "1" in out and "9" in out
 
 
 class TestHistogram:

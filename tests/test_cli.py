@@ -97,3 +97,73 @@ class TestCommands:
 
     def test_corpus_needs_two_stcs(self, capsys):
         assert main(["corpus", "--stc", "uni-stc"]) == 2
+
+
+class TestDseCommand:
+    SPEC = '{"config": {"num_dpgs": [4, 8]}, "matrices": ["rep:cant"], "kernels": ["spmv"]}'
+
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "space.json"
+        path.write_text(self.SPEC, encoding="utf-8")
+        return str(path)
+
+    def test_grid_campaign(self, capsys, tmp_path):
+        assert main(["dse", "--space", self._spec_file(tmp_path),
+                     "--matrix", "band:64:8:0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "dse campaign [grid:0]" in out
+        assert "2 candidate config(s)" in out
+        assert "frontier:" in out
+        assert "knee point:" in out
+
+    def test_out_writes_frontier_json(self, capsys, tmp_path):
+        out_path = tmp_path / "frontier.json"
+        assert main(["dse", "--space", self._spec_file(tmp_path),
+                     "--matrix", "band:64:8:0.5",
+                     "--out", str(out_path)]) == 0
+        import json
+
+        blob = json.loads(out_path.read_text())
+        assert blob["kind"] == "repro.dse.frontier"
+        assert blob["benchmarks"]
+
+    def test_plot_flag(self, capsys, tmp_path):
+        assert main(["dse", "--space", self._spec_file(tmp_path),
+                     "--matrix", "band:64:8:0.5", "--plot"]) == 0
+        assert "cycles vs area" in capsys.readouterr().out
+
+    def test_resume_replays_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "dse.jsonl")
+        spec = self._spec_file(tmp_path)
+        base = ["dse", "--space", spec, "--matrix", "band:64:8:0.5",
+                "--checkpoint", journal]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "3 point(s) simulated, 0 replayed" in cold
+        assert main(base + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "0 point(s) simulated, 3 replayed" in warm
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["dse", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_random_strategy_needs_valid_name(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--strategy", "anneal"])
+
+    def test_bad_space_file_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "space.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["dse", "--space", str(bad)]) == 2
+        assert "cannot read space spec" in capsys.readouterr().err
+
+    def test_seeded_random_deterministic(self, capsys, tmp_path):
+        args = ["dse", "--space", self._spec_file(tmp_path),
+                "--matrix", "band:64:8:0.5",
+                "--strategy", "random", "--seed", "0", "--budget", "2"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -113,3 +113,66 @@ class TestUniSTCConfig:
     def test_rejects_shallow_tile_queue(self):
         with pytest.raises(ConfigError):
             UniSTCConfig(num_dpgs=8, tile_queue_depth=4)
+
+
+class TestUniSTCConfigDSEValidation:
+    """Every knob a design-space sweep can set must reject bad values."""
+
+    def test_rejects_negative_dpgs(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(num_dpgs=-4)
+
+    def test_rejects_non_positive_tile(self):
+        for tile in (0, -2):
+            with pytest.raises(ConfigError):
+                UniSTCConfig(tile=tile)
+
+    def test_rejects_non_positive_block(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(block=0)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(frequency_ghz=0.0)
+
+    def test_rejects_non_positive_queue_depths(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(dot_queue_depth=0)
+        with pytest.raises(ConfigError):
+            UniSTCConfig(num_dpgs=1, tile_queue_depth=0)
+
+    def test_rejects_negative_wakeup_and_lookahead(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(dpg_wakeup_cycles=-1)
+        with pytest.raises(ConfigError):
+            UniSTCConfig(lookahead_cycles=-1)
+
+    def test_rejects_negative_buffer_bytes(self):
+        with pytest.raises(ConfigError):
+            UniSTCConfig(meta_buffer_bytes=-1)
+        with pytest.raises(ConfigError):
+            UniSTCConfig(matrix_a_buffer_bytes=-1)
+        with pytest.raises(ConfigError):
+            UniSTCConfig(accumulator_buffer_bytes=-1)
+
+    def test_rejects_precision_by_bare_name(self):
+        """A CLI/space string must go through parse_precision first."""
+        with pytest.raises(ConfigError):
+            UniSTCConfig(precision="fp64")
+
+
+class TestParsePrecision:
+    def test_known_names(self):
+        from repro.arch.config import parse_precision
+
+        assert parse_precision("fp64") is PRECISIONS["fp64"]
+        assert parse_precision("FP32").macs == 128
+        assert parse_precision(" fp16 ").bits == 16
+
+    def test_unknown_name_rejected(self):
+        from repro.arch.config import parse_precision
+
+        with pytest.raises(ConfigError):
+            parse_precision("bf16")
+        with pytest.raises(ConfigError):
+            parse_precision("")

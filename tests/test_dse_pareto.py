@@ -1,0 +1,105 @@
+"""Tests for dominance, frontier and knee extraction (repro.dse.pareto)."""
+
+import pytest
+
+from repro.dse.pareto import (
+    OBJECTIVES,
+    dominates,
+    knee_index,
+    pareto_front,
+    pareto_indices,
+)
+from repro.errors import ConfigError
+
+
+def obj(cycles, energy=1.0, area=1.0, eed=1.0):
+    return {"cycles": cycles, "energy_pj": energy, "area_mm2": area,
+            "eed": eed}
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(obj(1, 1, 1, 2), obj(2, 2, 2, 1))
+
+    def test_better_on_one_axis_ties_elsewhere(self):
+        assert dominates(obj(1), obj(2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates(obj(1), obj(1))
+
+    def test_trade_off_means_no_dominance(self):
+        a, b = obj(1, energy=2), obj(2, energy=1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_max_axis_is_negated(self):
+        # Higher EED is better: a wins despite identical min axes.
+        assert dominates(obj(1, eed=2), obj(1, eed=1))
+        assert not dominates(obj(1, eed=1), obj(1, eed=2))
+
+    def test_missing_objective_rejected(self):
+        with pytest.raises(ConfigError):
+            dominates({"cycles": 1}, obj(2))
+
+
+class TestParetoIndices:
+    def test_single_candidate(self):
+        assert pareto_indices([obj(1)]) == [0]
+
+    def test_dominated_dropped(self):
+        front = pareto_indices([obj(1), obj(2), obj(3)])
+        assert front == [0]
+
+    def test_trade_off_chain_all_kept(self):
+        cands = [obj(1, energy=3), obj(2, energy=2), obj(3, energy=1)]
+        assert pareto_indices(cands) == [0, 1, 2]
+
+    def test_duplicates_all_stay(self):
+        cands = [obj(1), obj(1), obj(2)]
+        assert pareto_indices(cands) == [0, 1]
+
+    def test_order_preserved(self):
+        cands = [obj(3, energy=1), obj(2, energy=2), obj(1, energy=3)]
+        assert pareto_indices(cands) == [0, 1, 2]
+        assert pareto_indices(list(reversed(cands))) == [0, 1, 2]
+
+
+class TestKneeIndex:
+    def test_balanced_point_wins(self):
+        # (1, 9), (5, 5), (9, 1): the middle point is nearest utopia.
+        cands = [obj(1, energy=9), obj(5, energy=5), obj(9, energy=1)]
+        assert knee_index(cands, [0, 1, 2]) == 1
+
+    def test_tie_breaks_to_earlier_index(self):
+        cands = [obj(1, energy=9), obj(9, energy=1)]
+        assert knee_index(cands, [0, 1]) == 0
+
+    def test_degenerate_axes_contribute_nothing(self):
+        # Every axis equal: distance is zero for all, first frontier
+        # member wins.
+        cands = [obj(1), obj(1), obj(1)]
+        assert knee_index(cands, [0, 1, 2]) == 0
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ConfigError):
+            knee_index([obj(1)], [])
+
+    def test_normalisation_uses_all_candidates(self):
+        # The dominated point stretches the cycles axis, pulling the
+        # knee towards the low-cycles frontier member.
+        cands = [obj(1, energy=2), obj(2, energy=1), obj(100, energy=100)]
+        idx = knee_index(cands, [0, 1])
+        assert idx == 0
+
+
+class TestParetoFront:
+    def test_combined(self):
+        cands = [obj(1, energy=9), obj(5, energy=5), obj(9, energy=1),
+                 obj(9, energy=9)]
+        result = pareto_front(cands)
+        assert result.frontier == (0, 1, 2)
+        assert result.knee == 1
+
+    def test_objective_senses(self):
+        assert OBJECTIVES == {"cycles": "min", "energy_pj": "min",
+                              "area_mm2": "min", "eed": "max"}

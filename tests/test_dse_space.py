@@ -1,0 +1,195 @@
+"""Tests for the declarative design-space layer (repro.dse.space)."""
+
+import pytest
+
+from repro.dse.space import (
+    KERNELS,
+    KNOWN_KNOBS,
+    SIMULATED_TILE,
+    DesignPoint,
+    DesignSpace,
+    default_space,
+)
+from repro.errors import ConfigError
+
+
+def small_space() -> DesignSpace:
+    return DesignSpace.build(
+        config_axes={"num_dpgs": [4, 8], "tile": [2, 4]},
+        matrices=["band:64:8:0.5"],
+        kernels=["spmv"],
+    )
+
+
+class TestDesignPoint:
+    def test_config_materialises(self):
+        p = DesignPoint(matrix="rep:cant", kernel="spmv",
+                        knobs=(("num_dpgs", 16), ("tile", 4)))
+        cfg = p.config()
+        assert cfg.num_dpgs == 16
+        assert cfg.tile == 4
+        # Unswept queue depth widens to hold one task per DPG.
+        assert cfg.tile_queue_depth >= cfg.num_dpgs
+
+    def test_precision_resolved_by_name(self):
+        p = DesignPoint(matrix="rep:cant", kernel="spmv",
+                        knobs=(("precision", "fp32"),))
+        assert p.config().macs == 128
+
+    def test_invalid_combination_raises(self):
+        p = DesignPoint(matrix="rep:cant", kernel="spmv",
+                        knobs=(("block", 16), ("tile", 5)))
+        with pytest.raises(ConfigError):
+            p.config()
+
+    def test_stc_name_and_key_stable(self):
+        p = DesignPoint(matrix="rep:cant", kernel="spmv",
+                        knobs=(("num_dpgs", 8), ("tile", 4)))
+        assert p.stc_name() == "uni-stc[num_dpgs=8,tile=4]"
+        assert p.key() == "uni-stc[num_dpgs=8,tile=4]|spmv|rep:cant"
+
+    def test_as_json_round_trip(self):
+        p = DesignPoint(matrix="rep:cant", kernel="spgemm",
+                        knobs=(("num_dpgs", 4),))
+        blob = p.as_json()
+        assert blob == {"matrix": "rep:cant", "kernel": "spgemm",
+                        "knobs": {"num_dpgs": 4}}
+
+
+class TestDesignSpaceBuild:
+    def test_axes_sorted_and_coerced(self):
+        space = DesignSpace.build(
+            config_axes={"tile": ["4", 2], "num_dpgs": [8]},
+            matrices=["rep:cant"], kernels=["spmv"],
+        )
+        assert space.config_axes == (("num_dpgs", (8,)), ("tile", (4, 2)))
+
+    def test_duplicate_values_collapse(self):
+        space = DesignSpace.build(
+            config_axes={"num_dpgs": [8, "8", 8]},
+            matrices=["rep:cant"], kernels=["spmv"],
+        )
+        assert space.config_axes == (("num_dpgs", (8,)),)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={"warp_size": [32]},
+                              matrices=["rep:cant"], kernels=["spmv"])
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={"precision": ["bf16"]},
+                              matrices=["rep:cant"], kernels=["spmv"])
+
+    def test_invalid_combination_rejected_up_front(self):
+        # tile=8 does not divide block=12: caught at build time.
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={"block": [12], "tile": [8]},
+                              matrices=["rep:cant"], kernels=["spmv"])
+
+    def test_needs_workloads(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={}, matrices=[], kernels=["spmv"])
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={}, matrices=["rep:cant"], kernels=[])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={}, matrices=["rep:cant"],
+                              kernels=["gemm"])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.build(config_axes={"tile": []},
+                              matrices=["rep:cant"], kernels=["spmv"])
+
+
+class TestDesignSpaceSpec:
+    def test_round_trip(self):
+        space = small_space()
+        again = DesignSpace.from_spec(space.as_spec())
+        assert again == space
+        assert again.fingerprint() == space.fingerprint()
+
+    def test_scalar_axis_promoted_to_list(self):
+        space = DesignSpace.from_spec({
+            "config": {"num_dpgs": 8},
+            "matrices": ["rep:cant"], "kernels": ["spmv"],
+        })
+        assert space.config_axes == (("num_dpgs", (8,)),)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.from_spec({"configs": {}, "matrices": ["rep:cant"],
+                                   "kernels": ["spmv"]})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace.from_spec([1, 2])
+        with pytest.raises(ConfigError):
+            DesignSpace.from_spec({"config": [1], "matrices": ["rep:cant"],
+                                   "kernels": ["spmv"]})
+
+    def test_fingerprint_tracks_definition(self):
+        a = small_space()
+        b = DesignSpace.build(
+            config_axes={"num_dpgs": [4, 8], "tile": [2, 4]},
+            matrices=["band:64:8:0.5"],
+            kernels=["spgemm"],
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestDesignSpaceEnumeration:
+    def test_sizes(self):
+        space = small_space()
+        assert space.n_configs == 4
+        assert space.size == 4
+
+    def test_candidates_deterministic(self):
+        space = small_space()
+        assert space.candidates() == space.candidates()
+        assert space.candidates()[0] == (("num_dpgs", 4), ("tile", 2))
+
+    def test_expand_covers_all_cells(self):
+        space = DesignSpace.build(
+            config_axes={"num_dpgs": [8]},
+            matrices=["band:64:8:0.5", "rep:cant"],
+            kernels=["spmv", "spgemm"],
+        )
+        points = space.expand((("num_dpgs", 8),))
+        assert len(points) == 4
+        assert {(p.matrix, p.kernel) for p in points} == {
+            ("band:64:8:0.5", "spmv"), ("band:64:8:0.5", "spgemm"),
+            ("rep:cant", "spmv"), ("rep:cant", "spgemm"),
+        }
+
+    def test_points_order_groups_configs(self):
+        space = small_space()
+        points = space.points()
+        assert len(points) == space.size
+        assert [p.knobs for p in points] == [c for c in space.candidates()]
+
+    def test_neighbours_one_axis_step(self):
+        space = small_space()
+        combo = (("num_dpgs", 4), ("tile", 2))
+        neigh = space.neighbours(combo)
+        assert (("num_dpgs", 8), ("tile", 2)) in neigh
+        assert (("num_dpgs", 4), ("tile", 4)) in neigh
+        assert combo not in neigh
+        # Corners of a 2x2 grid have exactly two neighbours.
+        assert len(neigh) == 2
+
+
+class TestDefaultSpace:
+    def test_matches_the_paper_walk(self):
+        space = default_space()
+        assert dict(space.config_axes)["tile"] == (2, 4, 8)
+        assert dict(space.config_axes)["num_dpgs"] == (4, 8, 16)
+        assert space.kernels == ("spmv", "spgemm")
+        assert space.size == 18
+
+    def test_constants(self):
+        assert SIMULATED_TILE == 4
+        assert "spmv" in KERNELS
+        assert "precision" in KNOWN_KNOBS

@@ -1,0 +1,161 @@
+"""Tests for the search strategies (repro.dse.strategies)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.dse.space import DesignSpace
+from repro.dse.strategies import (
+    EvolutionarySearch,
+    GridSearch,
+    RandomSearch,
+    make_strategy,
+    strategy_names,
+)
+from repro.errors import ConfigError
+
+
+def space_3x3() -> DesignSpace:
+    return DesignSpace.build(
+        config_axes={"num_dpgs": [4, 8, 16], "tile": [2, 4, 8]},
+        matrices=["rep:cant"], kernels=["spmv"],
+    )
+
+
+def drive(strategy, space, fitness=None):
+    """Run the ask loop to exhaustion, faking evaluation results."""
+    evaluated = {}
+    batches = []
+    while True:
+        batch = [c for c in strategy.propose(space, evaluated)
+                 if c not in evaluated]
+        if not batch:
+            break
+        batches.append(batch)
+        for c in batch:
+            eed = fitness(c) if fitness else 1.0
+            evaluated[c] = SimpleNamespace(eed=eed)
+    return evaluated, batches
+
+
+class TestGridSearch:
+    def test_exhaustive_by_default(self):
+        space = space_3x3()
+        evaluated, batches = drive(GridSearch(), space)
+        assert len(evaluated) == 9
+        assert batches[0] == space.candidates()
+
+    def test_budget_is_prefix(self):
+        space = space_3x3()
+        evaluated, _ = drive(GridSearch(budget=4), space)
+        assert list(evaluated) == space.candidates()[:4]
+
+    def test_signature(self):
+        assert GridSearch(budget=4).signature() == "grid:4"
+
+    def test_skips_already_evaluated(self):
+        space = space_3x3()
+        pre = {space.candidates()[0]: SimpleNamespace(eed=1.0)}
+        batch = GridSearch().propose(space, dict(pre))
+        assert space.candidates()[0] not in batch
+        assert len(batch) == 8
+
+
+class TestRandomSearch:
+    def test_deterministic_for_seed(self):
+        space = space_3x3()
+        a, _ = drive(RandomSearch(seed=0, budget=5), space)
+        b, _ = drive(RandomSearch(seed=0, budget=5), space)
+        assert list(a) == list(b)
+        assert len(a) == 5
+
+    def test_seed_changes_sample(self):
+        space = space_3x3()
+        a, _ = drive(RandomSearch(seed=0, budget=5), space)
+        b, _ = drive(RandomSearch(seed=1, budget=5), space)
+        assert list(a) != list(b)
+
+    def test_no_replacement(self):
+        space = space_3x3()
+        evaluated, _ = drive(RandomSearch(seed=3, budget=20), space)
+        assert len(evaluated) == 9  # whole space, no duplicates
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigError):
+            RandomSearch(seed=0, budget=0)
+
+    def test_signature(self):
+        assert RandomSearch(seed=7, budget=5).signature() == "random:7:5"
+
+
+class TestEvolutionarySearch:
+    def test_deterministic_for_seed(self):
+        space = space_3x3()
+        fitness = lambda c: float(dict(c)["num_dpgs"])  # noqa: E731
+        a, a_batches = drive(
+            EvolutionarySearch(seed=0, budget=7, population=3, survivors=2),
+            space, fitness)
+        b, b_batches = drive(
+            EvolutionarySearch(seed=0, budget=7, population=3, survivors=2),
+            space, fitness)
+        assert list(a) == list(b)
+        assert a_batches == b_batches
+        assert len(a) == 7
+
+    def test_mutates_best_survivor(self):
+        space = space_3x3()
+        strat = EvolutionarySearch(seed=0, budget=9, population=3, survivors=1)
+        fitness = lambda c: float(dict(c)["num_dpgs"])  # noqa: E731
+        evaluated = {}
+        gen0 = strat.propose(space, evaluated)
+        for c in gen0:
+            evaluated[c] = SimpleNamespace(eed=fitness(c))
+        best = max(gen0, key=fitness)
+        gen1 = strat.propose(space, evaluated)
+        neighbours = set(space.neighbours(best))
+        assert any(c in neighbours for c in gen1)
+
+    def test_budget_respected(self):
+        space = space_3x3()
+        evaluated, _ = drive(
+            EvolutionarySearch(seed=0, budget=4, population=6, survivors=3),
+            space)
+        assert len(evaluated) == 4
+
+    def test_treats_failures_as_visited(self):
+        space = space_3x3()
+        strat = EvolutionarySearch(seed=0, budget=9, population=3, survivors=2)
+        evaluated = {c: None for c in strat.propose(space, {})}
+        batch = strat.propose(space, evaluated)
+        assert batch
+        assert not any(c in evaluated for c in batch)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            EvolutionarySearch(budget=0)
+        with pytest.raises(ConfigError):
+            EvolutionarySearch(population=0)
+        with pytest.raises(ConfigError):
+            EvolutionarySearch(survivors=0)
+
+
+class TestMakeStrategy:
+    def test_names(self):
+        assert isinstance(make_strategy("grid"), GridSearch)
+        assert isinstance(make_strategy("exhaustive"), GridSearch)
+        assert isinstance(make_strategy("random", seed=1), RandomSearch)
+        assert isinstance(make_strategy("evolve"), EvolutionarySearch)
+        assert isinstance(make_strategy("halving"), EvolutionarySearch)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_strategy("anneal")
+
+    def test_default_budgets(self):
+        assert make_strategy("random").budget == 8
+        assert make_strategy("evolve").budget == 12
+        assert make_strategy("grid").budget == 0
+
+    def test_strategy_names_cover_cli(self):
+        for name in strategy_names():
+            assert make_strategy(name) is not None

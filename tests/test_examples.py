@@ -24,6 +24,11 @@ class TestExamples:
         out = _run("design_space.py", capsys)
         assert "selected tile size: 4" in out
         assert "Total Overhead" in out
+        # The repro.dse port: the paper's design point survives the
+        # searched frontier, and the campaign reports its bookkeeping.
+        assert "paper's choice tile=4, num_dpgs=8: on the frontier" in out
+        assert "knee point:" in out
+        assert "baselines hoisted per cell" in out
 
     def test_uwmma_walkthrough(self, capsys):
         out = _run("uwmma_walkthrough.py", capsys)
