@@ -28,15 +28,8 @@ import numpy as np
 
 from repro.errors import ShapeError, SimulationError
 from repro.formats.bbc import BLOCK, BBCMatrix
+from repro.kernels.partition import block_row_work, partition_block_rows
 from repro.kernels.vector import SparseVector, dense_segment_mask
-
-
-def _partitioner():
-    """Deferred import: sim.parallel depends on the engine, which the
-    arch package must not pull in at import time (cycle)."""
-    from repro.sim.parallel import block_row_work, partition_block_rows
-
-    return block_row_work, partition_block_rows
 
 #: Threads per warp (CUDA).
 WARP_LANES = 32
@@ -90,7 +83,6 @@ def warp_spmv(
     padded_x[: x.size] = x
     y = np.zeros(a.block_rows * BLOCK, dtype=np.float64)
 
-    block_row_work, partition_block_rows = _partitioner()
     work = block_row_work(a, "spmv")
     parts = partition_block_rows(work, n_warps)
     for rows in parts:
@@ -133,7 +125,6 @@ def warp_spmspv(
     log = log if log is not None else WarpLog()
     live = set(int(s) for s in x.nonempty_segments(BLOCK))
     y = np.zeros(a.block_rows * BLOCK, dtype=np.float64)
-    block_row_work, partition_block_rows = _partitioner()
     work = block_row_work(a, "spmv")
     parts = partition_block_rows(work, n_warps)
     for rows in parts:
@@ -177,7 +168,6 @@ def warp_spgemm(
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     log = log if log is not None else WarpLog()
     out_blocks: Dict[Tuple[int, int], np.ndarray] = {}
-    block_row_work, partition_block_rows = _partitioner()
     work = block_row_work(a, "spgemm", b)
     parts = partition_block_rows(work, n_warps)
     for rows in parts:

@@ -1,0 +1,58 @@
+"""The ``faults`` subcommand: seeded fault-injection campaigns."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.cli.common import add_obs_flags, add_run_flags, make_spec, split_csv
+from repro.runtime import Session
+
+
+def cmd_faults(args: argparse.Namespace, session: Session) -> int:
+    """Fault-injection campaign: detected / masked / SDC breakdown."""
+    from repro.resilience.faults import FAULT_KINDS, run_campaign
+
+    coo = session.matrix(args.matrix)
+    kinds = split_csv(args.kinds) if args.kinds else list(FAULT_KINDS)
+    campaign = run_campaign(
+        coo, kernel=args.kernel, trials=args.trials, seed=session.spec.seed,
+        kinds=kinds, matrix_name=args.matrix,
+    )
+    breakdown = campaign.breakdown()
+    rows = [[kind, row["detected"], row["masked"], row["sdc"],
+             row["detected"] + row["masked"] + row["sdc"]]
+            for kind, row in ((k, breakdown[k]) for k in kinds if k in breakdown)]
+    totals = campaign.totals()
+    rows.append(["TOTAL", totals["detected"], totals["masked"], totals["sdc"],
+                 sum(totals.values())])
+    print(f"fault campaign on {args.matrix} ({args.kernel}, "
+          f"{args.trials} trials, seed {session.spec.seed}):")
+    print(render_table(["fault kind", "detected", "masked", "sdc", "trials"], rows))
+    print(f"\ndetection coverage (detected / consequential): "
+          f"{100 * campaign.detection_coverage():.1f}%")
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (detected/masked/SDC)"
+    )
+    faults.add_argument("--matrix", default="band:128:16:0.3")
+    faults.add_argument("--kernel", default="spmv", choices=["spmv", "spmm"])
+    faults.add_argument("--trials", type=int, default=33)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--kinds", default="",
+        help="comma list of fault kinds (default: all kinds, round-robin)",
+    )
+    add_obs_flags(faults)
+    add_run_flags(faults)
+    faults.set_defaults(
+        func=cmd_faults,
+        make_spec=lambda a: make_spec(
+            a, "faults",
+            {"matrix": a.matrix, "kernel": a.kernel, "trials": a.trials,
+             "kinds": a.kinds},
+            seed=a.seed),
+    )

@@ -1,0 +1,95 @@
+"""Inspection subcommands: ``info``, ``formats``, ``area``, ``trace``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.arch.config import UniSTCConfig
+from repro.cli.common import add_run_flags, make_spec
+from repro.registry import registered_stcs
+from repro.runtime import Session
+
+
+def cmd_info(args: argparse.Namespace, session: Session) -> int:
+    import repro
+
+    cfg = UniSTCConfig()
+    print(f"repro {repro.__version__} — Uni-STC reproduction (HPCA 2026)")
+    print(f"default Uni-STC: {cfg.num_dpgs} DPGs, {cfg.macs} MACs @ "
+          f"{cfg.precision.name}, {cfg.frequency_ghz} GHz target")
+    print(f"architectures: {', '.join(registered_stcs())}")
+    print("kernels: spmv, spmspv, spmm, spgemm")
+    return 0
+
+
+def cmd_formats(args: argparse.Namespace, session: Session) -> int:
+    from repro.formats.advisor import analyse
+
+    coo = session.matrix(args.matrix)
+    report = analyse(coo)
+    rows = [[fmt, size, report.metadata_bytes["csr"] / size]
+            for fmt, size in report.metadata_bytes.items()]
+    print(render_table(["format", "metadata bytes", "reduction vs CSR"], rows))
+    print(f"\nNnzPB = {report.nnz_per_block:.2f}; recommended: {report.recommendation}")
+    return 0
+
+
+def cmd_area(args: argparse.Namespace, session: Session) -> int:
+    from repro.energy.area import area_breakdown, die_percentage, total_area_mm2
+
+    config = (UniSTCConfig(num_dpgs=args.dpgs) if args.dpgs >= 8
+              else UniSTCConfig(num_dpgs=args.dpgs, tile_queue_depth=2 * args.dpgs))
+    rows = [[module, area] for module, area in area_breakdown(config).items()]
+    rows.append(["Total Overhead", total_area_mm2(config)])
+    print(render_table(["module", "area (mm^2)"], rows, precision=4))
+    print(f"\n432 units = {die_percentage(config):.2f}% of an A100 die")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, session: Session) -> int:
+    from repro.arch.dataflow_trace import trace_block
+    from repro.arch.tasks import T1Task
+
+    rng = session.rng
+    a = rng.random((16, 16)) < args.density
+    b = rng.random((16, 16)) < args.density
+    task = T1Task.from_bitmaps(a, b)
+    print(f"T1 task: {task.intermediate_products()} intermediate products")
+    print(trace_block(task).render(max_cycles=args.cycles))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    info = sub.add_parser("info", help="package and model inventory")
+    add_run_flags(info)
+    info.set_defaults(func=cmd_info,
+                      make_spec=lambda a: make_spec(a, "info", {}))
+
+    formats = sub.add_parser("formats", help="format-selection analysis")
+    formats.add_argument("--matrix", default="band:256:24:0.3")
+    add_run_flags(formats)
+    formats.set_defaults(
+        func=cmd_formats,
+        make_spec=lambda a: make_spec(a, "formats", {"matrix": a.matrix}),
+    )
+
+    area = sub.add_parser("area", help="Table IX area breakdown")
+    area.add_argument("--dpgs", type=int, default=8)
+    add_run_flags(area)
+    area.set_defaults(
+        func=cmd_area,
+        make_spec=lambda a: make_spec(a, "area", {"dpgs": a.dpgs}),
+    )
+
+    trace = sub.add_parser("trace", help="dataflow walkthrough of one block")
+    trace.add_argument("--density", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--cycles", type=int, default=4)
+    add_run_flags(trace)
+    trace.set_defaults(
+        func=cmd_trace,
+        make_spec=lambda a: make_spec(
+            a, "trace", {"density": a.density, "cycles": a.cycles},
+            seed=a.seed),
+    )

@@ -1,0 +1,127 @@
+"""Simulation subcommands: ``kernels`` and ``profile``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import obs
+from repro.analysis.tables import render_table
+from repro.cli.common import (
+    add_obs_flags,
+    add_run_flags,
+    build_stcs,
+    make_spec,
+    split_csv,
+    spmspv_operand,
+)
+from repro.formats.bbc import BBCMatrix
+from repro.runtime import Session
+
+
+def cmd_kernels(args: argparse.Namespace, session: Session) -> int:
+    from repro.sim.engine import simulate_kernel
+
+    coo = session.matrix(args.matrix)
+    bbc = BBCMatrix.from_coo(coo)
+    print(f"matrix: {coo}  ({bbc.nblocks} BBC blocks)")
+    stcs = build_stcs(args.stc)
+    rows = []
+    for kernel in split_csv(args.kernel):
+        kwargs = {}
+        if kernel == "spmspv":
+            kwargs["x"] = spmspv_operand(bbc.shape[1], seed=session.spec.seed)
+        reports = {s.name: simulate_kernel(kernel, bbc, s, **kwargs) for s in stcs}
+        baseline = next(iter(reports.values()))
+        for name, report in reports.items():
+            rows.append([
+                kernel, name, report.cycles, 100 * report.mean_utilisation,
+                report.energy_pj / 1e3, baseline.cycles / report.cycles,
+            ])
+    print(render_table(
+        ["kernel", "stc", "cycles", "util (%)", "energy (nJ)", "speedup"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, session: Session) -> int:
+    """Profile a kernel sweep: where do cycles, cache hits and wall time go?
+
+    The session forces observability on (``--trace``/``--metrics``
+    still work for dumping the raw artifacts); prints an aggregated
+    span table plus per-case wall-time and cache-behaviour rows.
+    """
+    from repro.sim.engine import simulate_kernel
+
+    coo = session.matrix(args.matrix)
+    bbc = BBCMatrix.from_coo(coo)
+    stcs = build_stcs(args.stc)
+    kernels = split_csv(args.kernel)
+    case_rows = []
+    for _ in range(max(1, args.repeat)):
+        for kernel in kernels:
+            kwargs = {}
+            if kernel == "spmspv":
+                kwargs["x"] = spmspv_operand(bbc.shape[1],
+                                             seed=session.spec.seed)
+            for stc in stcs:
+                report = simulate_kernel(kernel, bbc, stc,
+                                         matrix=args.matrix, **kwargs)
+                case_rows.append([
+                    kernel, stc.name, report.cycles,
+                    1e3 * report.wall_s, 100 * report.cache_hit_rate,
+                ])
+    print(f"profile of {args.matrix} ({bbc.nblocks} BBC blocks, "
+          f"{max(1, args.repeat)} repetition(s)):\n")
+    print(render_table(
+        ["kernel", "stc", "cycles", "wall (ms)", "cache hit (%)"], case_rows,
+    ))
+    rows = [[r["name"], r["count"], r["total_ms"], r["mean_us"], r["max_us"]]
+            for r in obs.tracer().summarise()[: args.top]]
+    print("\nhottest spans:")
+    print(render_table(
+        ["span", "count", "total (ms)", "mean (us)", "max (us)"], rows,
+    ))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    kernels = sub.add_parser("kernels", help="simulate kernels on a matrix")
+    kernels.add_argument("--matrix", default="band:256:24:0.3")
+    kernels.add_argument("--kernel", default="spmv,spgemm")
+    kernels.add_argument("--stc", default="ds-stc,rm-stc,uni-stc")
+    add_obs_flags(kernels)
+    add_run_flags(kernels)
+    kernels.set_defaults(
+        func=cmd_kernels,
+        make_spec=lambda a: make_spec(
+            a, "kernels",
+            {"matrix": a.matrix, "kernel": a.kernel, "stc": a.stc}),
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a kernel sweep (span table, wall time, cache behaviour)",
+    )
+    profile.add_argument("--matrix", default="band:256:24:0.3")
+    profile.add_argument("--kernel", default="spmv,spgemm")
+    profile.add_argument("--stc", default="ds-stc,uni-stc")
+    profile.add_argument(
+        "--repeat", type=int, default=1,
+        help="simulate the grid this many times (warm-cache behaviour "
+             "shows from the second repetition on)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=12,
+        help="rows in the hottest-spans table",
+    )
+    add_obs_flags(profile)
+    add_run_flags(profile)
+    profile.set_defaults(
+        func=cmd_profile,
+        make_spec=lambda a: make_spec(
+            a, "profile",
+            {"matrix": a.matrix, "kernel": a.kernel, "stc": a.stc,
+             "repeat": a.repeat, "top": a.top},
+            force_obs=True),
+    )

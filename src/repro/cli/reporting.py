@@ -1,0 +1,59 @@
+"""Reporting subcommands: ``paper`` and ``report``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import add_run_flags, make_spec
+from repro.runtime import Session
+
+
+def cmd_paper(args: argparse.Namespace, session: Session) -> int:
+    """Run the benchmark suite — the per-figure reproduction harness."""
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[3] / "benchmarks"
+    if not bench_dir.is_dir():
+        print("error: benchmarks/ directory not found (run from a source checkout)",
+              file=sys.stderr)
+        session.fail("benchmarks/ directory not found")
+        return 2
+    cmd = [sys.executable, "-m", "pytest", str(bench_dir),
+           "--benchmark-only", "-s", "-q"]
+    if args.filter:
+        cmd += ["-k", args.filter]
+    if getattr(args, "json", ""):
+        cmd += [f"--benchmark-json={args.json}"]
+    return subprocess.call(cmd)
+
+
+def cmd_report(args: argparse.Namespace, session: Session) -> int:
+    from repro.analysis.report import generate_report
+
+    print(generate_report(args.json))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    paper = sub.add_parser(
+        "paper", help="regenerate every paper table/figure (runs the benchmark suite)"
+    )
+    paper.add_argument("--filter", default="", help="pytest -k expression")
+    paper.add_argument("--json", default="", help="also write benchmark JSON here")
+    add_run_flags(paper)
+    paper.set_defaults(
+        func=cmd_paper,
+        make_spec=lambda a: make_spec(a, "paper", {"filter": a.filter}),
+    )
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured markdown from a benchmark JSON"
+    )
+    report.add_argument("json", help="file from pytest --benchmark-json")
+    add_run_flags(report)
+    report.set_defaults(
+        func=cmd_report,
+        make_spec=lambda a: make_spec(a, "report", {"json": a.json}),
+    )

@@ -39,12 +39,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro import obs
 from repro.arch.config import UniSTCConfig
 from repro.arch.tradeoffs import evaluate_tile_size
-from repro.arch.unistc import UniSTC
-from repro.baselines import DsSTC
 from repro.dse.space import SIMULATED_TILE, DesignPoint, DesignSpace
 from repro.energy.area import eed as eed_metric
 from repro.energy.area import total_area_mm2
 from repro.errors import ConfigError
+from repro.registry import parse_matrix_spec, stc_factory
 from repro.resilience.runner import ResilientRunner, RetryPolicy
 from repro.sim.parallel import ParallelReport, simulate_parallel
 from repro.sim.results import SimReport
@@ -202,17 +201,21 @@ class CachedEvaluator:
     # -- sweep-state plumbing --------------------------------------------
 
     def _ensure_matrix(self, spec: str) -> None:
-        if spec in self._sweep.matrices:
-            return
-        from repro.cli import parse_matrix_spec
-
-        self._sweep.matrices[spec] = parse_matrix_spec(spec)
+        if spec not in self._sweep.matrices:
+            self._sweep.matrices[spec] = parse_matrix_spec(spec)
 
     def _ensure_stc(self, point: DesignPoint) -> str:
+        """Register the point's config under its variant name.
+
+        The sweep key stays ``point.stc_name()`` (``uni-stc[...]``) so
+        journal entries — and therefore campaign resume — are unchanged;
+        the factory itself is registry-bound with the config validated
+        once at registration, not re-captured per closure call.
+        """
         name = point.stc_name()
         if name not in self._sweep.stcs:
             config = point.config()  # ConfigError propagates to the caller
-            self._sweep.stcs[name] = lambda config=config: UniSTC(config)
+            self._sweep.stcs[name] = stc_factory("uni-stc", config)
         return name
 
     # -- evaluation ------------------------------------------------------
@@ -241,7 +244,7 @@ class CachedEvaluator:
             cell = (point.matrix, point.kernel)
             if cell not in self._baselines:
                 if BASELINE_STC not in self._sweep.stcs:
-                    self._sweep.stcs[BASELINE_STC] = DsSTC
+                    self._sweep.stcs[BASELINE_STC] = stc_factory(BASELINE_STC)
                 base_case = SweepCase(point.matrix, BASELINE_STC, point.kernel)
                 if base_case not in cases:
                     cases.append(base_case)

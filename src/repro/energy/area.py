@@ -10,10 +10,15 @@ unit of area overhead, normalised to DS-STC.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Union
 
 from repro.arch.config import UniSTCConfig
 from repro.errors import ConfigError
+from repro.registry.stcs import DS_STC_AREA_MM2 as DS_STC_AREA_MM2
+from repro.registry.stcs import RM_STC_AREA_MM2 as RM_STC_AREA_MM2
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import STCModel
 
 #: A100 reference die (mm²) and the projected deployment (4/SM x 108 SMs).
 A100_DIE_MM2 = 826.0
@@ -31,13 +36,10 @@ TMS_LOGIC_MM2 = 0.004
 DPG_LOGIC_MM2_EACH = 0.001
 SDPU_EXTRA_ADDERS_MM2 = 0.018
 
-#: Dedicated-module area of the two STC baselines the EED metric uses.
-#: RM-STC is derived from the paper's "18% area overhead compared to
-#: RM-STC" for the default Uni-STC; DS-STC's simpler front-end sits a
-#: further ~17% below RM-STC (which spends 16.67% of its area on the
-#: hardware format decoder BBC eliminates).
-RM_STC_AREA_MM2 = 0.036
-DS_STC_AREA_MM2 = 0.030
+#: Dedicated-module areas of the fixed-area baselines now live on
+#: their registry entries (:mod:`repro.registry.stcs`); the historic
+#: names ``RM_STC_AREA_MM2`` / ``DS_STC_AREA_MM2`` are re-exported
+#: above for compatibility.
 
 
 def sram_area_mm2(capacity_bytes: int, node_nm: float = 7.0) -> float:
@@ -75,15 +77,24 @@ def die_percentage(config: UniSTCConfig = UniSTCConfig(), units: int = UNITS_PER
     return 100.0 * total_area_mm2(config) * units / A100_DIE_MM2
 
 
-def stc_area_mm2(stc_name: str, config: UniSTCConfig = UniSTCConfig()) -> float:
-    """Dedicated-module area of any evaluated STC, for the EED ratio."""
-    if stc_name.startswith("uni-stc"):
+def stc_area_mm2(stc: Union[str, "STCModel"],
+                 config: UniSTCConfig = UniSTCConfig()) -> float:
+    """Dedicated-module area of any evaluated STC, for the EED ratio.
+
+    The architecture's registry entry declares *how* it is priced:
+    ``config`` entries derive their area from the supplied
+    :class:`UniSTCConfig`, ``fixed`` entries carry a synthesised
+    constant, and entries without an area model raise — a renamed or
+    user-registered STC can never silently price as another family.
+    """
+    from repro.registry import entry_for
+
+    entry = entry_for(stc)
+    if entry.area_model == "config":
         return total_area_mm2(config)
-    if stc_name.startswith("rm-stc"):
-        return RM_STC_AREA_MM2
-    if stc_name.startswith("ds-stc"):
-        return DS_STC_AREA_MM2
-    raise ConfigError(f"no area model for {stc_name!r}")
+    if entry.area_model == "fixed":
+        return entry.area_mm2
+    raise ConfigError(f"no area model for {entry.name!r}")
 
 
 def eed(

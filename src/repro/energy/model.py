@@ -19,7 +19,7 @@ designs on identical task streams carries meaning.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.arch.counters import Counters
 from repro.arch.network import (
@@ -64,14 +64,30 @@ MONOLITHIC_PROFILE = NetworkProfile.from_paths(MONOLITHIC_PATH, MONOLITHIC_PATH,
 #: Dense tensor core: fixed, small staging networks.
 DENSE_PROFILE = NetworkProfile.from_paths(DENSE_PATH, DENSE_PATH, DENSE_PATH)
 
+#: Registry ``network`` metadata -> transfer profile.  Architectures
+#: are mapped through their registry entry, never by name prefix: an
+#: unknown or user-registered STC resolves to *its* declared network
+#: kind or raises, instead of silently pricing as a monolithic design.
+NETWORK_PROFILES: Dict[str, NetworkProfile] = {
+    "hierarchical": UNI_PROFILE,
+    "dense": DENSE_PROFILE,
+    "monolithic": MONOLITHIC_PROFILE,
+}
 
-def profile_for(stc_name: str) -> NetworkProfile:
-    """Network profile of an architecture, looked up by model name."""
-    if stc_name.startswith("uni-stc"):
-        return UNI_PROFILE
-    if stc_name.startswith("nv-dtc"):
-        return DENSE_PROFILE
-    return MONOLITHIC_PROFILE
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import STCModel
+
+
+def profile_for(stc: Union[str, "STCModel"]) -> NetworkProfile:
+    """Network profile of an architecture (name, variant name or model).
+
+    Resolution goes through :func:`repro.registry.entry_for`, so
+    configured variants (``uni-stc(4dpg)``) share their base entry's
+    profile and unknown names raise :class:`~repro.errors.ConfigError`.
+    """
+    from repro.registry import entry_for
+
+    return NETWORK_PROFILES[entry_for(stc).network]
 
 
 @dataclass(frozen=True)

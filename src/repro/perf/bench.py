@@ -34,12 +34,12 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import obs
-from repro.arch.unistc import UniSTC
 from repro.formats.bbc import BBCMatrix
 from repro.kernels import KERNELS
 from repro.kernels.batched import coalesce, kernel_task_batches
 from repro.kernels.taskstream import kernel_tasks
 from repro.kernels.vector import SparseVector
+from repro.registry import create_stc
 from repro.sim.blockcache import BlockCache
 from repro.sim.engine import simulate_kernel
 from repro.workloads.suitesparse import MatrixSpec, corpus
@@ -169,7 +169,8 @@ def bench_corpus_sweep(
         totals = {"cycles": 0, "products": 0, "t1_tasks": 0}
         for _, bbc, kernel, operands in cases:
             report = simulate_kernel(
-                kernel, bbc, UniSTC(), batched=batched, cache=cache, **operands
+                kernel, bbc, create_stc("uni-stc"), batched=batched,
+                cache=cache, **operands
             )
             totals["cycles"] += report.cycles
             totals["products"] += report.products
@@ -261,7 +262,8 @@ def bench_obs_overhead(
 
     def sweep() -> None:
         for _, bbc, kernel, operands in cases:
-            simulate_kernel(kernel, bbc, UniSTC(), cache=cache, **operands)
+            simulate_kernel(kernel, bbc, create_stc("uni-stc"), cache=cache,
+                            **operands)
 
     sweep()  # warm the shared cache; both regimes below are warm
 

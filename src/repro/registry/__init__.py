@@ -1,0 +1,64 @@
+"""Declarative registries: the single source of STC and workload names.
+
+Every layer that used to keep a private ``{"uni-stc": UniSTC, ...}``
+dict or sniff families with ``name.startswith("uni-stc")`` now
+resolves through this package instead:
+
+- :mod:`repro.registry.stcs` — one :class:`STCEntry` per architecture
+  (canonical name, family, config class, factory, network/area
+  metadata).  The CLI, the sweep layer, the DSE evaluator and the
+  energy/area models all look up the same entries, so a renamed or
+  user-registered STC prices as *its* family or fails loudly — never
+  silently as somebody else's.
+- :mod:`repro.registry.workloads` — one :class:`WorkloadKind` per
+  matrix-spec grammar kind (``band:``, ``random:``, ``rmat:``,
+  ``rep:``, ``mtx:``, ``poisson:``).  :func:`parse_matrix_spec` is the
+  one parser of the compact CLI grammar; it lives here (not in the
+  CLI) so library layers such as :mod:`repro.dse` can materialise
+  matrices without importing upward.
+
+Registration is import-time for the built-ins and explicit for user
+extensions (:func:`register_stc` / :func:`register_workload`);
+duplicate names are rejected.  Name grammar — including configured
+variants like ``uni-stc(4dpg)`` or ``uni-stc[num_dpgs=4]`` — is owned
+by this package: :func:`canonical_stc_name` strips a trailing
+``(...)``/``[...]`` variant group before lookup.
+"""
+
+from repro.registry.stcs import (
+    STCEntry,
+    canonical_stc_name,
+    create_stc,
+    entry_for,
+    registered_stcs,
+    register_stc,
+    stc_factory,
+    stc_family,
+    unregister_stc,
+)
+from repro.registry.workloads import (
+    WorkloadKind,
+    parse_matrix_spec,
+    registered_workloads,
+    register_workload,
+    unregister_workload,
+    workload_kind,
+)
+
+__all__ = [
+    "STCEntry",
+    "WorkloadKind",
+    "canonical_stc_name",
+    "create_stc",
+    "entry_for",
+    "parse_matrix_spec",
+    "register_stc",
+    "register_workload",
+    "registered_stcs",
+    "registered_workloads",
+    "stc_factory",
+    "stc_family",
+    "unregister_stc",
+    "unregister_workload",
+    "workload_kind",
+]

@@ -1,0 +1,209 @@
+"""The STC registry: canonical names, families and pricing metadata.
+
+One :class:`STCEntry` per architecture.  The entry is the *only* place
+a model's name is tied to behaviour that varies by architecture:
+
+- ``factory``/``config_cls`` — how the CLI/sweeps/DSE build instances;
+- ``family`` — the pricing identity.  Configured variants
+  (``uni-stc(4dpg)``, ``uni-stc[num_dpgs=4,...]``) share their base
+  entry's family via :func:`canonical_stc_name`;
+- ``network`` — which per-element transfer profile the energy model
+  applies (``hierarchical`` / ``dense`` / ``monolithic``);
+- ``area_model``/``area_mm2`` — how the area model prices the design:
+  ``config`` (derived from a :class:`UniSTCConfig`), ``fixed`` (a
+  synthesised constant), or ``none`` (no dedicated-module area model —
+  asking for one is an error, not a silent default).
+
+``register_stc`` rejects duplicate names, so two plugins cannot
+silently shadow each other; ``unregister_stc`` exists for tests and
+for replacing an entry deliberately.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.arch.base import STCModel
+from repro.arch.config import Precision, UniSTCConfig
+from repro.arch.unistc import UniSTC
+from repro.baselines import DsSTC, Gamma, NvDTC, NvDTCSparse, RmSTC, Sigma, Trapezoid
+from repro.errors import ConfigError
+
+#: Network profiles the energy model knows how to price.
+NETWORK_KINDS = ("hierarchical", "dense", "monolithic")
+#: Area-model kinds the area model knows how to price.
+AREA_MODELS = ("config", "fixed", "none")
+
+#: Configured-variant suffix: a trailing ``(...)`` or ``[...]`` group
+#: appended to a canonical name (``uni-stc(4dpg)``,
+#: ``uni-stc[num_dpgs=4]``).  This grammar is owned by the registry;
+#: nothing outside it may parse STC names.
+_VARIANT_RE = re.compile(r"^(?P<base>[^()\[\]]+)(\(.*\)|\[.*\])$")
+
+
+@dataclass(frozen=True)
+class STCEntry:
+    """Everything the stack needs to know about one architecture."""
+
+    name: str
+    family: str
+    factory: Callable[..., STCModel]
+    config_cls: Optional[type] = None
+    network: str = "monolithic"
+    area_model: str = "none"
+    area_mm2: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("STC entry needs a non-empty name")
+        if self.network not in NETWORK_KINDS:
+            raise ConfigError(
+                f"unknown network kind {self.network!r}; "
+                f"choose from {list(NETWORK_KINDS)}"
+            )
+        if self.area_model not in AREA_MODELS:
+            raise ConfigError(
+                f"unknown area model {self.area_model!r}; "
+                f"choose from {list(AREA_MODELS)}"
+            )
+        if self.area_model == "fixed" and self.area_mm2 <= 0:
+            raise ConfigError("a fixed area model needs a positive area_mm2")
+
+    def create(self, config=None) -> STCModel:
+        """Instantiate the model, optionally with a bound config."""
+        if config is None:
+            return self.factory()
+        if self.config_cls is not None and not isinstance(config, self.config_cls):
+            raise ConfigError(
+                f"{self.name} expects a {self.config_cls.__name__} config, "
+                f"got {type(config).__name__}"
+            )
+        return self.factory(config)
+
+
+_STCS: Dict[str, STCEntry] = {}
+
+
+def register_stc(entry: STCEntry) -> STCEntry:
+    """Add an architecture to the registry; duplicate names are errors."""
+    if entry.name in _STCS:
+        raise ConfigError(
+            f"STC {entry.name!r} is already registered; "
+            "unregister_stc() first to replace it"
+        )
+    _STCS[entry.name] = entry
+    return entry
+
+
+def unregister_stc(name: str) -> None:
+    """Remove an entry (tests / deliberate replacement)."""
+    if name not in _STCS:
+        raise ConfigError(f"STC {name!r} is not registered")
+    del _STCS[name]
+
+
+def registered_stcs() -> List[str]:
+    """Canonical names, sorted — the CLI's ``--stc`` vocabulary."""
+    return sorted(_STCS)
+
+
+def canonical_stc_name(name: str) -> str:
+    """Resolve a (possibly configured-variant) name to its base entry.
+
+    ``uni-stc`` -> ``uni-stc``; ``uni-stc(4dpg)`` and
+    ``uni-stc[num_dpgs=4]`` -> ``uni-stc``.  Unknown names raise
+    :class:`ConfigError` listing the vocabulary — no silent fallback
+    family.
+    """
+    if name in _STCS:
+        return name
+    match = _VARIANT_RE.match(name)
+    if match and match.group("base") in _STCS:
+        return match.group("base")
+    raise ConfigError(
+        f"unknown STC {name!r}; choose from {registered_stcs()}"
+    )
+
+
+def entry_for(stc: Union[str, STCModel]) -> STCEntry:
+    """The registry entry behind a name, variant name, or model instance."""
+    name = stc if isinstance(stc, str) else stc.name
+    return _STCS[canonical_stc_name(name)]
+
+
+def stc_family(stc: Union[str, STCModel]) -> str:
+    """Family metadata — the pricing identity of an architecture."""
+    return entry_for(stc).family
+
+
+def create_stc(name: str, config=None) -> STCModel:
+    """Instantiate an architecture by canonical (or variant) name."""
+    return entry_for(name).create(config)
+
+
+def stc_factory(name: str, config=None) -> Callable[[], STCModel]:
+    """A zero-argument factory with the config bound at call time.
+
+    This is what :class:`repro.sim.sweep.Sweep` grids and the DSE
+    evaluator store: the returned callable builds a fresh instance per
+    invocation (models may carry per-run scratch state) while the
+    *identity* — entry + config — stays declarative.
+    """
+    entry = entry_for(name)
+    if config is None:
+        return entry.factory
+    entry.create(config)  # validate the binding once, up front
+
+    def build() -> STCModel:
+        return entry.create(config)
+
+    return build
+
+
+# -- built-in registrations ---------------------------------------------
+#
+# The seven baseline architectures plus Uni-STC, Table VI's evaluated
+# set.  Dedicated-module areas: RM-STC derives from the paper's "18%
+# area overhead compared to RM-STC" for the default Uni-STC; DS-STC's
+# simpler front-end sits ~17% below RM-STC (which spends 16.67% of its
+# area on the hardware format decoder BBC eliminates).
+
+RM_STC_AREA_MM2 = 0.036
+DS_STC_AREA_MM2 = 0.030
+
+_BUILTINS = (
+    STCEntry("nv-dtc", family="nv-dtc", factory=NvDTC, config_cls=Precision,
+             network="dense",
+             description="dense tensor core (no sparsity support)"),
+    STCEntry("nv-dtc-2:4", family="nv-dtc", factory=NvDTCSparse,
+             config_cls=Precision, network="dense",
+             description="dense tensor core with 2:4 structured sparsity"),
+    STCEntry("gamma", family="gamma", factory=Gamma, config_cls=Precision,
+             network="monolithic",
+             description="Gustavson-dataflow SpGEMM accelerator"),
+    STCEntry("sigma", family="sigma", factory=Sigma, config_cls=Precision,
+             network="monolithic",
+             description="flexible reduction-tree accelerator"),
+    STCEntry("trapezoid", family="trapezoid", factory=Trapezoid,
+             config_cls=Precision, network="monolithic",
+             description="hybrid structured/unstructured STC"),
+    STCEntry("ds-stc", family="ds-stc", factory=DsSTC, config_cls=Precision,
+             network="monolithic",
+             area_model="fixed", area_mm2=DS_STC_AREA_MM2,
+             description="outer-product dual-side sparse tensor core"),
+    STCEntry("rm-stc", family="rm-stc", factory=RmSTC, config_cls=Precision,
+             network="monolithic",
+             area_model="fixed", area_mm2=RM_STC_AREA_MM2,
+             description="row-merge dual-side sparse tensor core"),
+    STCEntry("uni-stc", family="uni-stc", factory=UniSTC,
+             config_cls=UniSTCConfig, network="hierarchical",
+             area_model="config",
+             description="the paper's unified sparse tensor core"),
+)
+
+for _entry in _BUILTINS:
+    register_stc(_entry)
+del _entry

@@ -1,0 +1,152 @@
+"""The workload registry: matrix-spec kinds and their builders.
+
+The compact matrix grammar every entry point shares::
+
+    band:N:BW:D      banded, side N, bandwidth BW, density D
+    random:N:D       uniform random
+    rmat:SCALE       R-MAT graph with 2^SCALE vertices
+    rep:NAME         a Table VII stand-in (consph, cant, gupta3, ...)
+    poisson:N        5-point 2-D Poisson stencil on an N x N grid
+    mtx:PATH         a Matrix Market file
+
+Each kind is one :class:`WorkloadKind` entry — name, generator family,
+builder, grammar string — registered once here and resolved by name
+everywhere (:func:`parse_matrix_spec` is the single parser; the CLI
+and the DSE evaluator both call it).  New corpus generators plug in
+via :func:`register_workload` without touching any consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class WorkloadKind:
+    """One matrix-spec kind: ``<name>:<colon-separated-args>``."""
+
+    name: str
+    family: str
+    build: Callable[[Sequence[str]], COOMatrix]
+    grammar: str = ""
+    description: str = ""
+
+
+_WORKLOADS: Dict[str, WorkloadKind] = {}
+
+
+def register_workload(kind: WorkloadKind) -> WorkloadKind:
+    """Add a spec kind; duplicate names are rejected."""
+    if kind.name in _WORKLOADS:
+        raise ReproError(
+            f"workload kind {kind.name!r} is already registered; "
+            "unregister_workload() first to replace it"
+        )
+    _WORKLOADS[kind.name] = kind
+    return kind
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a spec kind (tests / deliberate replacement)."""
+    if name not in _WORKLOADS:
+        raise ReproError(f"workload kind {name!r} is not registered")
+    del _WORKLOADS[name]
+
+
+def registered_workloads() -> List[str]:
+    """Registered spec kinds, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def workload_kind(name: str) -> WorkloadKind:
+    """The entry behind one spec kind name."""
+    if name not in _WORKLOADS:
+        raise ReproError(
+            f"unknown matrix spec kind {name!r}; "
+            f"choose from {registered_workloads()}"
+        )
+    return _WORKLOADS[name]
+
+
+def parse_matrix_spec(spec: str) -> COOMatrix:
+    """Materialise a matrix from its compact spec (deterministic)."""
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    entry = _WORKLOADS.get(kind)
+    if entry is None:
+        raise ReproError(f"unknown matrix spec {spec!r}")
+    try:
+        return entry.build(parts)
+    except (IndexError, ValueError) as exc:
+        raise ReproError(
+            f"bad matrix spec {spec!r} (expected {entry.grammar}): {exc}"
+        ) from exc
+
+
+# -- built-in registrations ---------------------------------------------
+#
+# Builders import their generator modules lazily so the registry stays
+# cheap to import; the workloads package is a lower layer, so the
+# imports are downward either way.
+
+
+def _build_band(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads import synthetic
+
+    n, bw, density = int(parts[0]), int(parts[1]), float(parts[2])
+    return synthetic.banded(n, bw, density, run_length=2, seed=7)
+
+
+def _build_random(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads import synthetic
+
+    n, density = int(parts[0]), float(parts[1])
+    return synthetic.random_uniform(n, n, density, seed=7)
+
+
+def _build_rmat(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads.structured import rmat
+
+    return rmat(int(parts[0]), seed=7)
+
+
+def _build_rep(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads import representative
+
+    return representative.build_matrix(parts[0], n=256)
+
+
+def _build_poisson(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads.synthetic import poisson2d
+
+    return poisson2d(int(parts[0]))
+
+
+def _build_mtx(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads.matrixmarket import read_mtx
+
+    return read_mtx(":".join(parts))
+
+
+_BUILTINS = (
+    WorkloadKind("band", "banded", _build_band, grammar="band:N:BW:D",
+                 description="banded matrix, side N, bandwidth BW, density D"),
+    WorkloadKind("random", "random", _build_random, grammar="random:N:D",
+                 description="uniform random, side N, density D"),
+    WorkloadKind("rmat", "powerlaw", _build_rmat, grammar="rmat:SCALE",
+                 description="R-MAT graph with 2^SCALE vertices"),
+    WorkloadKind("rep", "representative", _build_rep, grammar="rep:NAME",
+                 description="a Table VII representative stand-in"),
+    WorkloadKind("poisson", "stencil", _build_poisson, grammar="poisson:N",
+                 description="5-point Poisson stencil on an N x N grid"),
+    WorkloadKind("mtx", "file", _build_mtx, grammar="mtx:PATH",
+                 description="a Matrix Market file"),
+)
+
+for _kind in _BUILTINS:
+    register_workload(_kind)
+del _kind

@@ -30,13 +30,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.base import BlockResult
-from repro.arch.unistc import UniSTC
 from repro.errors import ConfigError, FormatError
 from repro.formats.bbc import BBCMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels import bbc_kernels, reference
 from repro.kernels.taskstream import kernel_tasks
+from repro.registry import create_stc
 from repro.sim import cachestore, engine
 from repro.sim.engine import simulate_tasks
 
@@ -342,7 +342,7 @@ def run_campaign(
     ref_output = _reference_output(clean_csr, kernel, operand)
 
     # Clean task stream + simulated totals, for the task/cache trials.
-    stc = UniSTC()
+    stc = create_stc("uni-stc")
     clean_tasks = list(kernel_tasks(kernel, clean_bbc))
     expected_weight = sum(t.weight for t in clean_tasks)
     clean_report = simulate_tasks(stc, clean_tasks, kernel=kernel, energy_model=None)

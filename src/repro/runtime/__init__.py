@@ -1,0 +1,26 @@
+"""The experiment runtime: ``RunSpec`` -> ``Session`` -> ``RunArtifact``.
+
+One pipeline every entry point composes through: declare a frozen,
+fingerprintable :class:`RunSpec` (command identity, parameters, seed,
+and the observability / cache / resilience policies), execute inside a
+:class:`Session` (seeded RNG, obs wiring, registry-backed sweep and
+runner construction), and get a :class:`RunArtifact` back — including
+a run-manifest JSON written uniformly for every run.
+
+This is the seam scaling PRs plug into: sharding, multi-backend and
+service mode each wrap or fan out ``RunSpec`` executions without
+touching any subcommand.
+"""
+
+from repro.runtime.session import MANIFEST_SCHEMA, RunArtifact, Session
+from repro.runtime.spec import CachePolicy, ObsPolicy, ResiliencePolicy, RunSpec
+
+__all__ = [
+    "CachePolicy",
+    "MANIFEST_SCHEMA",
+    "ObsPolicy",
+    "ResiliencePolicy",
+    "RunArtifact",
+    "RunSpec",
+    "Session",
+]

@@ -17,6 +17,7 @@ from repro.errors import SimulationError
 from repro.formats.bbc import BBCMatrix
 from repro.formats.coo import COOMatrix
 from repro.kernels.vector import SparseVector
+from repro.registry import stc_factory
 from repro.sim.engine import simulate_kernel
 from repro.sim.results import SimReport, geomean
 
@@ -53,6 +54,28 @@ class Sweep:
     kernels: Sequence[str]
     spmspv_operands: Dict[str, SparseVector] = field(default_factory=dict)
     _encoded: Dict[str, BBCMatrix] = field(default_factory=dict, init=False, repr=False)
+
+    @classmethod
+    def from_names(
+        cls,
+        matrices: Dict[str, COOMatrix],
+        stc_names: Sequence[str],
+        kernels: Sequence[str],
+        spmspv_operands: Optional[Dict[str, SparseVector]] = None,
+    ) -> "Sweep":
+        """Build a grid with STCs resolved through the registry.
+
+        ``stc_names`` are canonical registry names (``uni-stc``,
+        ``ds-stc``, ...); each becomes a registry-bound factory, so the
+        grid never captures model instances and an unknown name fails
+        here with the registry's vocabulary error, not mid-sweep.
+        """
+        return cls(
+            matrices=matrices,
+            stcs={name: stc_factory(name) for name in stc_names},
+            kernels=list(kernels),
+            spmspv_operands=dict(spmspv_operands or {}),
+        )
 
     def cases(self) -> List[SweepCase]:
         """Every cell of the grid, matrices outermost (cache-friendly)."""
