@@ -20,7 +20,17 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cli import amg, bench, corpus, dse, faults, inspect_cmds, kernels, reporting
+from repro.cli import (
+    amg,
+    bench,
+    corpus,
+    dse,
+    faults,
+    inspect_cmds,
+    kernels,
+    reporting,
+    worker,
+)
 from repro.errors import ReproError
 from repro.runtime import Session
 
@@ -35,6 +45,7 @@ _COMMAND_MODULES = (
     bench,
     dse,
     reporting,     # paper, report
+    worker,        # exec-supervisor internal
 )
 
 

@@ -18,7 +18,13 @@ from typing import Dict, List
 import numpy as np
 
 from repro.registry import create_stc
-from repro.runtime import CachePolicy, ObsPolicy, ResiliencePolicy, RunSpec
+from repro.runtime import (
+    CachePolicy,
+    ExecPolicy,
+    ObsPolicy,
+    ResiliencePolicy,
+    RunSpec,
+)
 
 
 def split_csv(value: str) -> List[str]:
@@ -81,6 +87,41 @@ def add_resilience_flags(parser: argparse.ArgumentParser,
     )
 
 
+def add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the multi-process execution flags (see ``repro.exec``)."""
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the campaign across this many supervised worker "
+             "subprocesses (0 = run in-process; results are identical)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=0.0, metavar="S",
+        help="per-shard wall-clock deadline; an overrunning worker is "
+             "killed (SIGTERM, then SIGKILL) and the shard retried "
+             "(0 = unlimited)",
+    )
+    parser.add_argument(
+        "--shard-retries", type=int, default=2,
+        help="crash budget per shard before it is bisected down to the "
+             "poison case",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="S",
+        help="worker heartbeat period; a heartbeat stale for 10 "
+             "intervals gets the worker killed",
+    )
+
+
+def exec_policy(args: argparse.Namespace) -> ExecPolicy:
+    """Fold the exec flag pack into an :class:`ExecPolicy`."""
+    return ExecPolicy(
+        workers=getattr(args, "workers", 0),
+        shard_timeout_s=getattr(args, "shard_timeout", 0.0),
+        max_shard_retries=getattr(args, "shard_retries", 2),
+        heartbeat_interval_s=getattr(args, "heartbeat_interval", 1.0),
+    )
+
+
 def add_run_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the run-manifest flag every subcommand carries."""
     parser.add_argument(
@@ -119,5 +160,6 @@ def make_spec(
             checkpoint=getattr(args, "checkpoint", ""),
             resume=getattr(args, "resume", False),
         ),
+        exec=exec_policy(args),
         manifest_dir=getattr(args, "run_dir", ".repro/runs"),
     )

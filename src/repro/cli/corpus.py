@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.cli.common import (
+    add_exec_flags,
     add_obs_flags,
     add_resilience_flags,
     add_run_flags,
@@ -21,23 +22,27 @@ from repro.runtime import Session
 def cmd_corpus(args: argparse.Namespace, session: Session) -> int:
     """Corpus sweep: Table VIII-style Aver/Max rows per kernel.
 
-    Runs through the fault-tolerant runner: a failing case is journaled
-    and skipped rather than aborting the sweep, ``--checkpoint`` +
-    ``--resume`` continue an interrupted run without re-simulating
-    finished cases, and ``--timeout``/``--max-retries`` bound each case.
+    Runs through the fault-tolerant campaign executor: a failing case
+    is journaled and skipped rather than aborting the sweep,
+    ``--checkpoint`` + ``--resume`` continue an interrupted run without
+    re-simulating finished cases, ``--timeout``/``--max-retries`` bound
+    each case, and ``--workers N`` shards the sweep across supervised
+    subprocesses (crash-isolated, hard-kill deadlines) with results
+    identical to the in-process run.
     """
     from repro.sim.results import compare
-    from repro.workloads.suitesparse import corpus, iter_matrices
+    from repro.workloads.suitesparse import corpus
 
     names = split_csv(args.stc)
     if len(names) < 2:
         raise ReproError("corpus needs at least two STCs (target ... baseline)")
     target_name, baseline_names = names[-1], names[:-1]
     specs = corpus(sizes=(128,), limit=args.limit)
-    matrices = dict(iter_matrices(specs))
+    # Shards rebuild matrices from the registry's ``corpus:NAME`` specs,
+    # so the campaign is addressed by name, never by pickled arrays.
+    matrices = {s.name: f"corpus:{s.name}" for s in specs}
     kernels = split_csv(args.kernel)
-    sweep = session.sweep(matrices, names, kernels)
-    summary = session.runner(sweep).run()
+    summary = session.executor(matrices, names, kernels).run()
 
     by_cell = {(r.case.matrix_name, r.case.kernel, r.case.stc_name): r.report
                for r in summary.results}
@@ -88,6 +93,7 @@ def register(sub: argparse._SubParsersAction) -> None:
         help="comma list; the LAST entry is the target, the rest baselines",
     )
     add_resilience_flags(corpus_cmd)
+    add_exec_flags(corpus_cmd)
     add_obs_flags(corpus_cmd)
     add_run_flags(corpus_cmd)
     corpus_cmd.set_defaults(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 
 from repro.cli.common import (
+    add_exec_flags,
     add_obs_flags,
     add_resilience_flags,
     add_run_flags,
@@ -61,6 +62,7 @@ def cmd_dse(args: argparse.Namespace, session: Session) -> int:
         cache_path=session.spec.cache.path or None,
         timeout_s=res.timeout,
         max_retries=res.max_retries,
+        exec_policy=session.spec.exec,
     )
     result = campaign.run()
     print(f"dse campaign [{result.strategy}] over {space.n_configs} candidate "
@@ -131,6 +133,7 @@ def register(sub: argparse._SubParsersAction) -> None:
         help="also print the ASCII cycles-vs-area frontier plot",
     )
     add_resilience_flags(dse, unit="evaluation")
+    add_exec_flags(dse)
     add_obs_flags(dse)
     add_run_flags(dse)
     dse.set_defaults(

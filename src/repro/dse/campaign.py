@@ -200,6 +200,8 @@ class Campaign:
     cache_path: Optional[Union[str, Path]] = None
     timeout_s: Optional[float] = None
     max_retries: int = 1
+    #: Multi-process batch execution (``None``/``workers=0`` = in-process).
+    exec_policy: Optional[object] = None
 
     def run(self) -> CampaignResult:
         fingerprint = campaign_fingerprint(self.space,
@@ -212,6 +214,7 @@ class Campaign:
             cache_path=self.cache_path,
             timeout_s=self.timeout_s,
             max_retries=self.max_retries,
+            exec_policy=self.exec_policy,
         )
         evaluated: Dict[Candidate, Optional[ConfigSummary]] = {}
         point_evals: Dict[Candidate, List[Evaluation]] = {}

@@ -43,6 +43,7 @@ from repro.dse.space import SIMULATED_TILE, DesignPoint, DesignSpace
 from repro.energy.area import eed as eed_metric
 from repro.energy.area import total_area_mm2
 from repro.errors import ConfigError
+from repro.exec import CampaignExecutor, ExecPolicy, StcDef
 from repro.registry import parse_matrix_spec, stc_factory
 from repro.resilience.runner import ResilientRunner, RetryPolicy
 from repro.sim.parallel import ParallelReport, simulate_parallel
@@ -185,10 +186,15 @@ class CachedEvaluator:
     cache_path: Optional[Union[str, Path]] = None
     timeout_s: Optional[float] = None
     max_retries: int = 1
+    #: Multi-process execution envelope; ``None`` (or ``workers=0``)
+    #: keeps batches in-process.  Distributed batches run each case
+    #: serially inside its worker, so ``n_cores`` is ignored there.
+    exec_policy: Optional[ExecPolicy] = None
 
     def __post_init__(self) -> None:
         self._sweep = PointSweep(matrices={}, stcs={}, kernels=[],
                                  n_cores=self.n_cores)
+        self._stc_defs: Dict[str, StcDef] = {}
         self._baselines: Dict[Tuple[str, str], SimReport] = {}
         self._resume_next = bool(
             self.resume and self.journal_path is not None
@@ -216,6 +222,10 @@ class CachedEvaluator:
         if name not in self._sweep.stcs:
             config = point.config()  # ConfigError propagates to the caller
             self._sweep.stcs[name] = stc_factory("uni-stc", config)
+            # The serialisable identity worker processes rebuild the
+            # same config from (knobs -> DesignPoint.config, the one
+            # authoritative path).
+            self._stc_defs[name] = StcDef.from_knobs(name, dict(point.knobs))
         return name
 
     # -- evaluation ------------------------------------------------------
@@ -245,6 +255,7 @@ class CachedEvaluator:
             if cell not in self._baselines:
                 if BASELINE_STC not in self._sweep.stcs:
                     self._sweep.stcs[BASELINE_STC] = stc_factory(BASELINE_STC)
+                    self._stc_defs[BASELINE_STC] = StcDef.plain(BASELINE_STC)
                 base_case = SweepCase(point.matrix, BASELINE_STC, point.kernel)
                 if base_case not in cases:
                     cases.append(base_case)
@@ -257,18 +268,42 @@ class CachedEvaluator:
         if not cases:
             return out
 
-        self._sweep.case_list = cases
-        runner = ResilientRunner(
-            self._sweep,
-            timeout_s=self.timeout_s,
-            retry=RetryPolicy(max_retries=self.max_retries),
-            journal_path=self.journal_path,
-            resume=self._resume_next,
-            cache_path=self.cache_path,
-            fingerprint=self.fingerprint,
-        )
-        with obs.span("dse.batch", cases=len(cases)):
-            summary = runner.run()
+        distributed = (self.exec_policy is not None
+                       and self.exec_policy.distributed)
+        with obs.span("dse.batch", cases=len(cases),
+                      workers=self.exec_policy.workers if distributed else 0):
+            if distributed:
+                # DSE matrix names ARE registry specs, so shards carry
+                # them verbatim; worker journals merge back into the
+                # campaign journal in this batch's case order.
+                executor = CampaignExecutor(
+                    matrices={case.matrix_name: case.matrix_name
+                              for case in cases},
+                    stcs=[self._stc_defs[name]
+                          for name in sorted({c.stc_name for c in cases})],
+                    kernels=sorted({c.kernel for c in cases}),
+                    cases=cases,
+                    journal_path=self.journal_path,
+                    resume=self._resume_next,
+                    fingerprint=self.fingerprint,
+                    timeout_s=self.timeout_s or 0.0,
+                    max_retries=self.max_retries,
+                    cache_path=self.cache_path,
+                    policy=self.exec_policy,
+                )
+                summary = executor.run()
+            else:
+                self._sweep.case_list = cases
+                runner = ResilientRunner(
+                    self._sweep,
+                    timeout_s=self.timeout_s,
+                    retry=RetryPolicy(max_retries=self.max_retries),
+                    journal_path=self.journal_path,
+                    resume=self._resume_next,
+                    cache_path=self.cache_path,
+                    fingerprint=self.fingerprint,
+                )
+                summary = runner.run()
         if self.journal_path is not None:
             # Later batches must append to the journal just written.
             self._resume_next = True

@@ -1,0 +1,247 @@
+"""The worker side of the campaign executor.
+
+A worker process reads one :class:`~repro.exec.shard.ShardSpec`,
+rebuilds its slice of the campaign grid, and runs it through the same
+:class:`~repro.resilience.runner.ResilientRunner` the in-process path
+uses — appending to the shard's private journal, beating a heartbeat
+file, and dumping an obs metrics snapshot on the way out.  The worker
+*always* resumes from its own journal if one exists: a respawned
+worker (after a crash or a recycle) picks up exactly where its
+predecessor's last flushed line left off, so no finished case is ever
+re-simulated.
+
+Exit-code protocol (what the supervisor branches on):
+
+====  =================================================================
+code  meaning
+====  =================================================================
+0     shard complete — every case has a journaled terminal outcome
+      (case *failures* are outcomes, not worker crashes)
+2     structured worker error (bad spec, corrupt journal, ...); the
+      message on stderr is the diagnosis
+3     recycle request — the worker hit its leaked-thread cap
+      (:class:`~repro.errors.ThreadLeakError`) and wants to be
+      restarted; only a process exit actually frees zombie threads
+other signal death / hard crash — the supervisor treats the shard as
+      crashed and applies its retry / bisection budget
+====  =================================================================
+
+Chaos injection (tests and the CI chaos-smoke job) rides the
+``REPRO_WORKER_CHAOS`` environment variable::
+
+    kill:SUBSTR:MARKER   SIGKILL self before the first case whose key
+                         contains SUBSTR, once (MARKER file arms it)
+    hang:SUBSTR          sleep forever in that case (exercises the
+                         shard deadline -> hard kill path)
+    stop:SUBSTR:MARKER   SIGSTOP self there, once (exercises
+                         heartbeat-loss detection)
+
+The hook runs *inside* ``run_case``, i.e. mid-shard with earlier
+cases already journaled — exactly the failure the executor's
+resume-and-merge machinery must absorb.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro import obs
+from repro.errors import ConfigError, ThreadLeakError
+from repro.exec.shard import ShardSpec
+from repro.resilience.runner import (
+    CaseOutcome,
+    ResilientRunner,
+    RetryPolicy,
+)
+from repro.sim.sweep import SweepCase
+
+logger = logging.getLogger(__name__)
+
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_RECYCLE = 3
+
+#: Environment variable carrying a chaos directive (see module docs).
+CHAOS_ENV = "REPRO_WORKER_CHAOS"
+
+
+class Heartbeat:
+    """A background thread that refreshes the shard's heartbeat file.
+
+    Each beat rewrites the file with a tiny JSON payload
+    (``{"t": ..., "done": ..., "pid": ...}``); the supervisor only
+    looks at the mtime, the payload is for humans debugging a stuck
+    campaign.  Writes go through a temp file + rename so the
+    supervisor never reads a half-written beat.
+    """
+
+    def __init__(self, path: Path, interval_s: float) -> None:
+        self._path = path
+        self._interval_s = max(interval_s, 0.05)
+        self._done = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-heartbeat", daemon=True
+        )
+
+    def advance(self) -> None:
+        self._done += 1
+
+    def _beat(self) -> None:
+        payload = json.dumps(
+            {"t": time.time(), "done": self._done, "pid": os.getpid()}
+        )
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        try:
+            tmp.write_text(payload + "\n", encoding="utf-8")
+            os.replace(tmp, self._path)
+        except OSError:  # a vanished workdir must not kill the shard
+            logger.warning("could not write heartbeat %s", self._path,
+                           exc_info=True)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self._beat()
+
+    def __enter__(self) -> "Heartbeat":
+        self._beat()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._beat()  # final beat records the terminal done-count
+
+
+def _chaos_hook(directive: str) -> Callable[[SweepCase], None]:
+    """Compile a ``REPRO_WORKER_CHAOS`` directive into a pre-case hook."""
+    parts = directive.split(":")
+    action = parts[0]
+    if action not in ("kill", "hang", "stop"):
+        raise ConfigError(f"unknown chaos action {action!r} in {directive!r}")
+    if action in ("kill", "stop") and len(parts) < 3:
+        raise ConfigError(
+            f"chaos directive {directive!r} needs a marker path: "
+            f"{action}:SUBSTR:MARKER")
+    substr = parts[1]
+    marker = Path(":".join(parts[2:])) if len(parts) > 2 else None
+
+    def hook(case: SweepCase) -> None:
+        key = f"{case.matrix_name}/{case.stc_name}/{case.kernel}"
+        if substr not in key:
+            return
+        if action == "hang":
+            logger.warning("chaos: hanging in case %s", key)
+            while True:
+                time.sleep(3600)
+        # One-shot actions arm themselves through the marker file so a
+        # respawned worker does not die at the same case forever.
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return
+        if action == "kill":
+            logger.warning("chaos: SIGKILLing self in case %s", key)
+            os.kill(os.getpid(), signal.SIGKILL)
+        else:
+            logger.warning("chaos: SIGSTOPping self in case %s", key)
+            os.kill(os.getpid(), signal.SIGSTOP)
+
+    return hook
+
+
+def run_shard(spec: ShardSpec) -> int:
+    """Execute one shard; returns the process exit code.
+
+    The runner journals every finished case to ``spec.journal`` and
+    resumes from it when the file already exists (a respawn).  The
+    shard's ``campaign`` fingerprint binds the journal, so a stale
+    journal from a different campaign is rejected rather than
+    silently replayed.  Workers never share a block-cache file —
+    concurrent writers would race — so ``cache_path`` stays unset.
+    """
+    if spec.metrics:
+        obs.enable()
+    sweep = spec.build_sweep()
+    chaos = os.environ.get(CHAOS_ENV)
+    if chaos:
+        sweep.pre_case = _chaos_hook(chaos)
+
+    journal = Path(spec.journal)
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    runner = ResilientRunner(
+        sweep=sweep,
+        timeout_s=spec.timeout_s or None,
+        retry=RetryPolicy(max_retries=spec.max_retries),
+        journal_path=journal,
+        resume=journal.exists(),
+        seed=spec.seed,
+        fingerprint=spec.campaign,
+        max_leaked_threads=spec.max_leaked_threads,
+    )
+
+    def on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        # The journal is flushed per line, so exiting between cases (or
+        # even mid-case) costs at most the in-flight attempt.
+        raise SystemExit(128 + signal.SIGTERM)
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+
+    heartbeat = None
+    if spec.heartbeat:
+        hb_path = Path(spec.heartbeat)
+        hb_path.parent.mkdir(parents=True, exist_ok=True)
+        heartbeat = Heartbeat(hb_path, spec.heartbeat_interval_s)
+
+    def progress(outcome: CaseOutcome) -> None:
+        if heartbeat is not None:
+            heartbeat.advance()
+
+    exit_code = EXIT_OK
+    try:
+        if heartbeat is not None:
+            heartbeat.__enter__()
+        try:
+            runner.run(progress=progress)
+        except ThreadLeakError as exc:
+            logger.warning("shard %s requests a recycle: %s",
+                           spec.shard_id, exc)
+            exit_code = EXIT_RECYCLE
+    finally:
+        if heartbeat is not None:
+            heartbeat.__exit__(None, None, None)
+        if spec.metrics:
+            # Best-effort: a SIGKILLed worker never reaches this point,
+            # and the campaign's counters undercount by that worker's
+            # share (documented in docs/robustness.md).
+            try:
+                obs.metrics().write_json(spec.metrics)
+            except OSError:
+                logger.warning("could not write metrics snapshot %s",
+                               spec.metrics, exc_info=True)
+    return exit_code
+
+
+def worker_main(spec_path: str) -> int:
+    """CLI entry: read a shard spec and run it (see exit-code table)."""
+    try:
+        spec = ShardSpec.read(spec_path)
+    except ConfigError as exc:
+        logger.error("bad shard spec: %s", exc)
+        return EXIT_ERROR
+    try:
+        return run_shard(spec)
+    except SystemExit:
+        raise
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback-spam
+        logger.error("shard %s failed: %s: %s",
+                     spec.shard_id, type(exc).__name__, exc, exc_info=True)
+        return EXIT_ERROR

@@ -132,6 +132,16 @@ def _build_mtx(parts: Sequence[str]) -> COOMatrix:
     return read_mtx(":".join(parts))
 
 
+def _build_corpus(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads.suitesparse import DEFAULT_SIZES, corpus
+
+    name = parts[0]
+    for spec in corpus(sizes=DEFAULT_SIZES):
+        if spec.name == name:
+            return spec.matrix()
+    raise ValueError(f"no corpus entry named {name!r}")
+
+
 _BUILTINS = (
     WorkloadKind("band", "banded", _build_band, grammar="band:N:BW:D",
                  description="banded matrix, side N, bandwidth BW, density D"),
@@ -145,6 +155,10 @@ _BUILTINS = (
                  description="5-point Poisson stencil on an N x N grid"),
     WorkloadKind("mtx", "file", _build_mtx, grammar="mtx:PATH",
                  description="a Matrix Market file"),
+    WorkloadKind("corpus", "corpus", _build_corpus, grammar="corpus:NAME",
+                 description="a SuiteSparse-substitute corpus entry by name "
+                             "(self-describing shard specs address corpus "
+                             "matrices through this kind)"),
 )
 
 for _kind in _BUILTINS:

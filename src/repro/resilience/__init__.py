@@ -30,7 +30,11 @@ from repro.resilience.runner import (
     ResilientRunner,
     RetryPolicy,
     RunSummary,
+    case_key,
     classify_error,
+    grid_fingerprint,
+    journal_header,
+    read_journal,
 )
 
 __all__ = [
@@ -44,6 +48,10 @@ __all__ = [
     "ResilientRunner",
     "RetryPolicy",
     "RunSummary",
+    "case_key",
     "classify_error",
+    "grid_fingerprint",
+    "journal_header",
+    "read_journal",
     "run_campaign",
 ]

@@ -46,6 +46,7 @@ from repro.errors import (
     FormatError,
     ShapeError,
     SimulationError,
+    ThreadLeakError,
 )
 from repro.arch.counters import Counters
 from repro.arch.tasks import UtilHistogram
@@ -203,16 +204,112 @@ def _report_from_json(data: dict) -> SimReport:
     return report
 
 
-def _case_key(case: SweepCase) -> str:
+def case_key(case: SweepCase) -> str:
+    """The journal identity of one sweep case."""
     return f"{case.matrix_name}\x1f{case.kernel}\x1f{case.stc_name}"
 
 
-def _grid_fingerprint(cases: List[SweepCase]) -> str:
+#: Backwards-compatible private alias.
+_case_key = case_key
+
+
+def grid_fingerprint(cases: List[SweepCase]) -> str:
+    """Order-independent digest binding a journal to one exact grid."""
     digest = hashlib.sha256()
-    for key in sorted(_case_key(c) for c in cases):
+    for key in sorted(case_key(c) for c in cases):
         digest.update(key.encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()[:16]
+
+
+_grid_fingerprint = grid_fingerprint
+
+
+def journal_header(fingerprint: str, cases: int) -> dict:
+    """The header line every checkpoint journal starts with."""
+    return {
+        "journal": "repro.resilience",
+        "version": JOURNAL_VERSION,
+        "fingerprint": fingerprint,
+        "cases": cases,
+    }
+
+
+def check_journal_header(header: dict, path: Path,
+                         fingerprint: Optional[str] = None) -> None:
+    """Validate a parsed journal header; raises :class:`CheckpointError`."""
+    if header.get("journal") != "repro.resilience":
+        raise CheckpointError(f"{path} is not a resilience checkpoint journal")
+    if header.get("version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"checkpoint journal {path} version mismatch "
+            f"(got {header.get('version')!r}, expected {JOURNAL_VERSION})"
+        )
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint journal {path} was written for a different sweep grid"
+        )
+
+
+def _outcome_from_entry(entry: dict) -> CaseOutcome:
+    """One journal line, parsed; raises on any malformed payload."""
+    case = SweepCase(entry["case"]["matrix"], entry["case"]["stc"],
+                     entry["case"]["kernel"])
+    status = entry["status"]
+    report = _report_from_json(entry["report"]) if status == "ok" else None
+    failure = CaseFailure(**entry["error"]) if entry.get("error") else None
+    return CaseOutcome(
+        case=case, status=status, report=report, failure=failure,
+        attempts=int(entry.get("attempts", 1)),
+        elapsed_s=float(entry.get("elapsed_s", 0.0)),
+        resumed=True,
+    )
+
+
+def read_journal(path: Union[str, Path],
+                 fingerprint: Optional[str] = None) -> Dict[str, CaseOutcome]:
+    """Parse a checkpoint journal into per-case outcomes.
+
+    Only a truncated *final* line (the process died mid-write) is
+    tolerated.  An interior garbled line means the journal lost data —
+    silently skipping it would drop a completed case and break resume
+    accounting — so it raises :class:`CheckpointError` naming the line.
+    A missing/garbled header, a version mismatch, or (when
+    ``fingerprint`` is given) a journal written for a different grid
+    raise :class:`CheckpointError` too.  Duplicate case keys are legal
+    (a resumed run re-attempts failed cases and appends); the last
+    entry wins.
+    """
+    path = Path(str(path))
+    outcomes: Dict[str, CaseOutcome] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise CheckpointError(f"checkpoint journal {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint journal {path} has no valid header") from exc
+    check_journal_header(header, path, fingerprint)
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+            outcome = _outcome_from_entry(entry)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if lineno == last_lineno:
+                logger.warning(
+                    "checkpoint journal %s: ignoring truncated final line %d",
+                    path, lineno,
+                )
+                continue
+            raise CheckpointError(
+                f"checkpoint journal {path} is corrupt at line {lineno}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        outcomes[case_key(outcome.case)] = outcome
+    return outcomes
 
 
 # -- the runner ---------------------------------------------------------
@@ -245,62 +342,28 @@ class ResilientRunner:
     sleep: Callable[[float], None] = time.sleep
     clock: Callable[[], float] = time.monotonic
     fingerprint: Optional[str] = None
+    #: Abandoned-thread budget: each in-thread timeout leaks one zombie
+    #: thread, and past this many the process fails fast with
+    #: :class:`ThreadLeakError` instead of silently accumulating them
+    #: (0 disables the cap).  A supervised worker turns that failure
+    #: into a process restart, which is the only way the leaked threads
+    #: actually die.
+    max_leaked_threads: int = 8
 
     def __post_init__(self) -> None:
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._leaked_threads = 0
+
+    @property
+    def leaked_threads(self) -> int:
+        """Timed-out case threads abandoned by this runner so far."""
+        return self._leaked_threads
 
     # -- journal ---------------------------------------------------------
 
     def _read_journal(self, fingerprint: str) -> Dict[str, CaseOutcome]:
-        """Parse an existing journal into per-case outcomes.
-
-        A truncated final line (the process died mid-write) is
-        tolerated; a missing/garbled header or a journal written for a
-        different grid raises :class:`CheckpointError`.
-        """
-        path = Path(str(self.journal_path))
-        outcomes: Dict[str, CaseOutcome] = {}
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-        if not lines:
-            raise CheckpointError(f"checkpoint journal {path} is empty")
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(f"checkpoint journal {path} has no valid header") from exc
-        if header.get("journal") != "repro.resilience":
-            raise CheckpointError(f"{path} is not a resilience checkpoint journal")
-        if header.get("version") != JOURNAL_VERSION:
-            raise CheckpointError(f"checkpoint journal {path} version mismatch")
-        if header.get("fingerprint") != fingerprint:
-            raise CheckpointError(
-                f"checkpoint journal {path} was written for a different sweep grid"
-            )
-        for lineno, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-                case = SweepCase(entry["case"]["matrix"], entry["case"]["stc"],
-                                 entry["case"]["kernel"])
-                status = entry["status"]
-                report = (_report_from_json(entry["report"])
-                          if status == "ok" else None)
-                failure = (CaseFailure(**entry["error"])
-                           if entry.get("error") else None)
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                logger.warning(
-                    "checkpoint journal %s: ignoring truncated/garbled line %d",
-                    path, lineno,
-                )
-                continue
-            outcomes[_case_key(case)] = CaseOutcome(
-                case=case, status=status, report=report, failure=failure,
-                attempts=int(entry.get("attempts", 1)),
-                elapsed_s=float(entry.get("elapsed_s", 0.0)),
-                resumed=True,
-            )
-        return outcomes
+        """Parse the runner's journal (see :func:`read_journal`)."""
+        return read_journal(self.journal_path, fingerprint)
 
     @staticmethod
     def _journal_entry(outcome: CaseOutcome) -> dict:
@@ -346,6 +409,15 @@ class ResilientRunner:
             future.cancel()
             self._executor.shutdown(wait=False)
             self._executor = None
+            self._leaked_threads += 1
+            obs.inc("runner.leaked_threads")
+            logger.warning(
+                "abandoned the timed-out thread of case (%s, %s, %s); "
+                "%d zombie thread%s now leaked in this process",
+                case.matrix_name, case.kernel, case.stc_name,
+                self._leaked_threads,
+                "" if self._leaked_threads == 1 else "s",
+            )
             raise CaseTimeoutError(
                 f"case ({case.matrix_name}, {case.kernel}, {case.stc_name}) "
                 f"exceeded its {self.timeout_s:g}s budget"
@@ -434,13 +506,9 @@ class ResilientRunner:
                         "no checkpoint journal at %s; starting a fresh run", path
                     )
                 journal_handle = open(path, "w", encoding="utf-8")
-                header = {
-                    "journal": "repro.resilience",
-                    "version": JOURNAL_VERSION,
-                    "fingerprint": fingerprint,
-                    "cases": len(cases),
-                }
-                journal_handle.write(json.dumps(header) + "\n")
+                journal_handle.write(
+                    json.dumps(journal_header(fingerprint, len(cases))) + "\n"
+                )
                 journal_handle.flush()
 
         summary = RunSummary()
@@ -463,6 +531,18 @@ class ResilientRunner:
                         journal_handle.flush()
                     if progress is not None:
                         progress(outcome)
+                    if (self.max_leaked_threads
+                            and self._leaked_threads > self.max_leaked_threads):
+                        # Fail fast *after* journaling the outcome: the
+                        # work done so far stays resumable, and in a
+                        # supervised worker the restart kills the
+                        # zombies this process can no longer shed.
+                        raise ThreadLeakError(
+                            f"{self._leaked_threads} timed-out case threads "
+                            f"leaked (cap {self.max_leaked_threads}); this "
+                            "process can no longer be trusted — restart it "
+                            "and resume from the checkpoint journal"
+                        )
         finally:
             if journal_handle is not None:
                 journal_handle.close()

@@ -7,16 +7,20 @@ and the observability / cache / resilience policies), execute inside a
 runner construction), and get a :class:`RunArtifact` back — including
 a run-manifest JSON written uniformly for every run.
 
-This is the seam scaling PRs plug into: sharding, multi-backend and
-service mode each wrap or fan out ``RunSpec`` executions without
+This is the seam scaling PRs plug into: the multi-process executor
+(:mod:`repro.exec`) fans a ``RunSpec`` grid out to supervised worker
+subprocesses via :meth:`Session.executor`, and multi-backend or
+service mode can wrap ``RunSpec`` executions the same way without
 touching any subcommand.
 """
 
+from repro.exec.supervisor import ExecPolicy
 from repro.runtime.session import MANIFEST_SCHEMA, RunArtifact, Session
 from repro.runtime.spec import CachePolicy, ObsPolicy, ResiliencePolicy, RunSpec
 
 __all__ = [
     "CachePolicy",
+    "ExecPolicy",
     "MANIFEST_SCHEMA",
     "ObsPolicy",
     "ResiliencePolicy",

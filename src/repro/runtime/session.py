@@ -115,6 +115,40 @@ class Session:
             fingerprint=fingerprint,
         )
 
+    def executor(
+        self,
+        matrices: Dict[str, str],
+        stc_names: Sequence[str],
+        kernels: Sequence[str],
+        fingerprint: Optional[str] = None,
+    ):
+        """A campaign executor configured from the spec's policies.
+
+        ``matrices`` maps names to registry matrix-spec *strings* (not
+        materialised matrices) — the executor's shards must be
+        self-describing so worker processes can rebuild them.  With the
+        spec's default :class:`~repro.exec.ExecPolicy` (``workers=0``)
+        this runs in-process through the same
+        :class:`~repro.resilience.runner.ResilientRunner` path as
+        :meth:`runner`, with identical results and journal bytes.
+        """
+        from repro.exec import CampaignExecutor, StcDef
+
+        res = self.spec.resilience
+        return CampaignExecutor(
+            matrices=dict(matrices),
+            stcs=[StcDef.plain(name) for name in stc_names],
+            kernels=list(kernels),
+            journal_path=res.checkpoint or None,
+            resume=res.resume,
+            fingerprint=fingerprint,
+            seed=self.spec.seed,
+            timeout_s=res.timeout_s,
+            max_retries=res.max_retries,
+            cache_path=self.spec.cache.path or None,
+            policy=self.spec.exec,
+        )
+
     def fail(self, message: str) -> None:
         """Record a structured failure for the manifest."""
         self._error = message

@@ -8,7 +8,10 @@ fingerprint), the seed, and three orthogonal policies —
   trace/metrics artifacts go;
 - :class:`CachePolicy` — the warm block-result cache file, if any;
 - :class:`ResiliencePolicy` — per-case timeout, retry budget and the
-  checkpoint journal (+ resume) for fault-tolerant grids.
+  checkpoint journal (+ resume) for fault-tolerant grids;
+- :class:`~repro.exec.ExecPolicy` — the multi-process execution
+  envelope (worker pool size, shard deadlines, heartbeat and crash
+  budgets); the default ``workers=0`` keeps runs in-process.
 
 Specs are frozen and fingerprintable: :meth:`RunSpec.fingerprint`
 hashes the command, parameters and seed (never host paths), so two
@@ -24,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import ConfigError
+from repro.exec.supervisor import ExecPolicy
 from repro.resilience.runner import RetryPolicy
 
 
@@ -89,6 +93,7 @@ class RunSpec:
     obs: ObsPolicy = ObsPolicy()
     cache: CachePolicy = CachePolicy()
     resilience: ResiliencePolicy = ResiliencePolicy()
+    exec: ExecPolicy = ExecPolicy()
     #: Directory the run manifest is written into; empty disables the
     #: manifest (library embedders that keep their own records).
     manifest_dir: str = ".repro/runs"

@@ -89,9 +89,17 @@ class Sweep:
     def _operand(self, name: str, bbc: BBCMatrix) -> SparseVector:
         if name in self.spmspv_operands:
             return self.spmspv_operands[name]
+        import hashlib
+
         import numpy as np
 
-        rng = np.random.default_rng(abs(hash(name)) % (2**32))
+        # A stable digest, NOT hash(): str hashing is salted per process,
+        # and sharded multi-process sweeps must draw the same operand for
+        # the same matrix in every worker.
+        seed = int.from_bytes(
+            hashlib.sha256(name.encode("utf-8")).digest()[:4], "big"
+        )
+        rng = np.random.default_rng(seed)
         dense = rng.random(bbc.shape[1]) * (rng.random(bbc.shape[1]) < 0.5)
         return SparseVector.from_dense(dense)
 

@@ -1,0 +1,206 @@
+"""Tests for the deterministic journal merge (repro.exec.journal)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.exec.journal import (
+    fold_entries,
+    merge_journals,
+    read_raw_journal,
+    strip_wallclock,
+)
+from repro.resilience.runner import JOURNAL_VERSION, journal_header
+
+FP = "feedc0de00000000"
+
+
+def entry(matrix="m0", stc="uni-stc", kernel="spmv", status="ok",
+          cycles=100, elapsed=0.5, attempts=1):
+    e = {
+        "case": {"matrix": matrix, "stc": stc, "kernel": kernel},
+        "status": status,
+        "attempts": attempts,
+        "elapsed_s": elapsed,
+    }
+    if status == "ok":
+        e["report"] = {"cycles": cycles, "wall_s": 0.01,
+                       "cache": {"hits": 3.0}}
+    else:
+        e["error"] = {"taxonomy": "simulation", "type": "SimulationError",
+                      "message": "boom"}
+    return e
+
+
+def write_journal(path, entries, fingerprint=FP, version=None):
+    header = journal_header(fingerprint, len(entries))
+    if version is not None:
+        header["version"] = version
+    lines = [json.dumps(header)] + [json.dumps(e) for e in entries]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_entries(path):
+    return [json.loads(line) for line in
+            path.read_text().splitlines()[1:]]
+
+
+class TestStripWallclock:
+    def test_removes_host_timing_only(self):
+        e = entry(elapsed=1.23)
+        stripped = strip_wallclock(e)
+        assert "elapsed_s" not in stripped
+        assert "wall_s" not in stripped["report"]
+        assert "cache" not in stripped["report"]
+        assert stripped["report"]["cycles"] == 100
+        assert stripped["attempts"] == 1  # a retried case is a real diff
+        assert e["elapsed_s"] == 1.23     # the original is untouched
+
+    def test_equal_modulo_wallclock(self):
+        a = entry(elapsed=0.1)
+        b = entry(elapsed=9.9)
+        b["report"]["wall_s"] = 123.0
+        assert strip_wallclock(a) == strip_wallclock(b)
+
+
+class TestReadRawJournal:
+    def test_interior_garbage_names_the_line(self, tmp_path):
+        path = write_journal(tmp_path / "j", [entry("m0"), entry("m1")])
+        lines = path.read_text().splitlines()
+        lines[1] = '{"cor'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 2"):
+            read_raw_journal(path, FP)
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = write_journal(tmp_path / "j", [entry("m0"), entry("m1")])
+        text = path.read_text().rstrip("\n")
+        path.write_text(text[:-10])
+        _, entries = read_raw_journal(path, FP)
+        assert len(entries) == 1
+
+    def test_foreign_fingerprint_rejected(self, tmp_path):
+        path = write_journal(tmp_path / "j", [entry()], fingerprint="other")
+        with pytest.raises(CheckpointError, match="different sweep grid"):
+            read_raw_journal(path, FP)
+
+
+class TestFoldEntries:
+    def test_identical_duplicates_dedupe(self):
+        a, b = entry(elapsed=0.1), entry(elapsed=0.7)
+        folded, stats = fold_entries([("w0", {"k": a}), ("w1", {"k": b})])
+        assert folded == {"k": a}
+        assert stats.deduplicated == 1
+
+    def test_ok_supersedes_failed(self):
+        failed, ok = entry(status="failed"), entry()
+        folded, stats = fold_entries([("w0", {"k": failed}),
+                                      ("w1", {"k": ok})])
+        assert folded["k"]["status"] == "ok"
+        assert stats.superseded == 1
+        # ...regardless of source order.
+        folded, _ = fold_entries([("w0", {"k": ok}), ("w1", {"k": failed})])
+        assert folded["k"]["status"] == "ok"
+
+    def test_conflicting_ok_outcomes_raise(self):
+        a, b = entry(cycles=100), entry(cycles=999)
+        with pytest.raises(CheckpointError, match="merge conflict"):
+            fold_entries([("w0", {"k": a}), ("w1", {"k": b})])
+
+
+class TestMergeJournals:
+    def test_disjoint_sources_merge_in_canonical_order(self, tmp_path):
+        keys = [("m0", "ds-stc"), ("m0", "uni-stc"),
+                ("m1", "ds-stc"), ("m1", "uni-stc")]
+        order = [f"{m}\x1fspmv\x1f{s}" for m, s in keys]
+        # Workers journal their slices in shard order...
+        w0 = write_journal(tmp_path / "w0.journal",
+                           [entry(m, s) for m, s in keys[:2]])
+        w1 = write_journal(tmp_path / "w1.journal",
+                           [entry(m, s) for m, s in keys[2:]])
+        target = tmp_path / "campaign.journal"
+        stats = merge_journals(target, [w1, w0], FP, order=order)
+        assert stats.appended == 4
+        # ...and the campaign journal comes out in canonical case order
+        # with the standard header, as a single-process run would write.
+        merged = read_entries(target)
+        assert [(e["case"]["matrix"], e["case"]["stc"]) for e in merged] == keys
+        header = json.loads(target.read_text().splitlines()[0])
+        assert header == journal_header(FP, 4)
+
+    def test_merge_is_append_only_on_resume(self, tmp_path):
+        order = [f"m{i}\x1fspmv\x1funi-stc" for i in range(3)]
+        target = write_journal(tmp_path / "campaign.journal",
+                               [entry("m0"), entry("m1")])
+        before = target.read_text()
+        w0 = write_journal(tmp_path / "w0.journal", [entry("m2")])
+        stats = merge_journals(target, [w0], FP, order=order)
+        assert stats.appended == 1
+        assert target.read_text().startswith(before)  # prefix untouched
+
+    def test_already_present_keys_are_not_rewritten(self, tmp_path):
+        target = write_journal(tmp_path / "campaign.journal", [entry("m0")])
+        w0 = write_journal(tmp_path / "w0.journal",
+                           [entry("m0", elapsed=9.0)])
+        stats = merge_journals(target, [w0], FP)
+        assert stats.appended == 0
+        assert stats.already_present == 1
+        assert len(read_entries(target)) == 1
+
+    def test_source_conflicting_with_target_raises(self, tmp_path):
+        target = write_journal(tmp_path / "campaign.journal",
+                               [entry("m0", cycles=100)])
+        w0 = write_journal(tmp_path / "w0.journal",
+                           [entry("m0", cycles=666)])
+        with pytest.raises(CheckpointError, match="disagrees"):
+            merge_journals(target, [w0], FP)
+
+    def test_ok_retry_supersedes_journaled_failure(self, tmp_path):
+        target = write_journal(tmp_path / "campaign.journal",
+                               [entry("m0", status="failed")])
+        w0 = write_journal(tmp_path / "w0.journal", [entry("m0")])
+        merge_journals(target, [w0], FP)
+        entries = read_entries(target)
+        # Appended, not rewritten: last-wins on read, like the runner.
+        assert [e["status"] for e in entries] == ["failed", "ok"]
+        _, raw = read_raw_journal(target, FP)
+        assert next(iter(raw.values()))["status"] == "ok"
+
+    def test_mixed_version_source_headers_raise(self, tmp_path):
+        w0 = write_journal(tmp_path / "w0.journal", [entry("m0")])
+        w1 = write_journal(tmp_path / "w1.journal", [entry("m1")],
+                           version=JOURNAL_VERSION + 1)
+        with pytest.raises(CheckpointError, match="version mismatch"):
+            merge_journals(tmp_path / "campaign.journal", [w0, w1], FP)
+
+    def test_missing_empty_and_torn_header_sources_skipped(self, tmp_path):
+        w0 = write_journal(tmp_path / "w0.journal", [entry("m0")])
+        (tmp_path / "empty.journal").write_text("")
+        (tmp_path / "torn.journal").write_text('{"journal": "repro.re')
+        target = tmp_path / "campaign.journal"
+        stats = merge_journals(
+            target,
+            [w0, tmp_path / "empty.journal", tmp_path / "torn.journal",
+             tmp_path / "never-written.journal"],
+            FP)
+        assert stats.appended == 1
+
+    def test_crash_mid_merge_leaves_target_intact(self, tmp_path, monkeypatch):
+        """The write is atomic: a failed replace keeps the old bytes."""
+        import repro.exec.journal as journal_mod
+
+        target = write_journal(tmp_path / "campaign.journal", [entry("m0")])
+        before = target.read_text()
+        w0 = write_journal(tmp_path / "w0.journal", [entry("m1")])
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(journal_mod.os, "replace", boom)
+        with pytest.raises(OSError):
+            merge_journals(target, [w0], FP)
+        assert target.read_text() == before

@@ -1,0 +1,239 @@
+"""Integration tests for the campaign executor (repro.exec.supervisor).
+
+These spawn real ``repro worker`` subprocesses and inject failures
+through the ``REPRO_WORKER_CHAOS`` hook, so they are slower than unit
+tests but exercise the actual supervision machinery: crash respawn,
+hard-kill deadlines, heartbeat-loss detection, poison bisection and
+the deterministic journal join.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.exec import CampaignExecutor, ExecPolicy, StcDef, strip_wallclock
+from repro.exec.worker import CHAOS_ENV
+from repro.registry import parse_matrix_spec
+from repro.resilience.runner import ResilientRunner, RetryPolicy
+from repro.sim import engine
+from repro.sim.sweep import Sweep
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine_cache():
+    engine.clear_cache()
+    yield
+    engine.clear_cache()
+
+
+@pytest.fixture
+def metrics():
+    obs.enable()
+    yield obs.metrics()
+    obs.disable()
+
+
+MATRICES = {
+    "m0": "band:48:4:0.5",
+    "m1": "band:48:6:0.5",
+    "m2": "band:48:8:0.5",
+}
+
+
+def make_executor(journal, matrices=MATRICES, policy=None, **kwargs):
+    return CampaignExecutor(
+        matrices=dict(matrices),
+        stcs=[StcDef.plain("uni-stc")],
+        kernels=["spmv"],
+        journal_path=journal,
+        policy=policy or ExecPolicy(),
+        **kwargs,
+    )
+
+
+def normalised(journal):
+    """(header, entries) with the wall-clock fields stripped."""
+    lines = Path(journal).read_text(encoding="utf-8").splitlines()
+    return (json.loads(lines[0]),
+            [strip_wallclock(json.loads(line)) for line in lines[1:]])
+
+
+def leaked_workers(fragment):
+    """PIDs of live processes whose cmdline mentions ``fragment``."""
+    pids = []
+    for pid in Path("/proc").iterdir():
+        if not pid.name.isdigit():
+            continue
+        try:
+            cmdline = (pid / "cmdline").read_bytes()
+        except OSError:
+            continue
+        if str(fragment).encode() in cmdline:
+            pids.append(pid.name)
+    return pids
+
+
+class TestInProcessPath:
+    def test_workers_zero_matches_a_direct_runner(self, tmp_path):
+        """The degraded path is literally the plain ResilientRunner."""
+        exec_journal = tmp_path / "exec.journal"
+        summary = make_executor(exec_journal).run()
+        assert summary.n_ok == len(MATRICES)
+
+        direct_journal = tmp_path / "direct.journal"
+        direct = ResilientRunner(
+            sweep=Sweep.from_names(
+                {n: parse_matrix_spec(s) for n, s in MATRICES.items()},
+                ["uni-stc"], ["spmv"]),
+            journal_path=direct_journal,
+            retry=RetryPolicy(max_retries=1),
+        ).run()
+        assert [o.report.cycles for o in summary.outcomes] == \
+            [o.report.cycles for o in direct.outcomes]
+        assert normalised(exec_journal) == normalised(direct_journal)
+
+    def test_popen_failure_degrades_to_in_process(self, tmp_path, monkeypatch):
+        """No subprocess support at all still completes the campaign."""
+        def no_subprocesses(*args, **kwargs):
+            raise OSError("spawn forbidden")
+
+        monkeypatch.setattr(subprocess, "Popen", no_subprocesses)
+        journal = tmp_path / "campaign.journal"
+        summary = make_executor(journal, policy=ExecPolicy(workers=2)).run()
+        assert summary.n_ok == len(MATRICES)
+        header, entries = normalised(journal)
+        assert len(entries) == len(MATRICES)
+        assert all(e["status"] == "ok" for e in entries)
+
+
+class TestDistributedIdentity:
+    def test_sharded_run_matches_single_process(self, tmp_path):
+        """2 workers produce the same journal bytes modulo wall clock."""
+        single = tmp_path / "single.journal"
+        make_executor(single).run()
+
+        sharded = tmp_path / "sharded.journal"
+        summary = make_executor(
+            sharded, policy=ExecPolicy(workers=2)).run()
+        assert summary.n_ok == len(MATRICES)
+        assert normalised(sharded) == normalised(single)
+
+    def test_distributed_resume_skips_finished_cases(self, tmp_path):
+        journal = tmp_path / "campaign.journal"
+        make_executor(journal, policy=ExecPolicy(workers=2)).run()
+        before = journal.read_text()
+
+        summary = make_executor(journal, resume=True,
+                                policy=ExecPolicy(workers=2)).run()
+        assert summary.n_ok == len(MATRICES)
+        assert all(o.resumed for o in summary.outcomes)
+        assert journal.read_text() == before  # nothing re-ran, no appends
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_resumes_with_zero_resimulation(
+            self, tmp_path, monkeypatch, metrics):
+        """A worker SIGKILLed mid-shard respawns and picks up where the
+        journal left off: every case lands in the campaign journal
+        exactly once, with exactly one attempt."""
+        marker = tmp_path / "kill.marker"
+        monkeypatch.setenv(CHAOS_ENV, f"kill:m1:{marker}")
+        journal = tmp_path / "campaign.journal"
+        summary = make_executor(journal, policy=ExecPolicy(workers=1)).run()
+
+        assert marker.exists()  # the chaos actually fired
+        assert summary.n_ok == len(MATRICES)
+        _, entries = normalised(journal)
+        keys = [tuple(e["case"].values()) for e in entries]
+        assert len(keys) == len(set(keys)) == len(MATRICES)
+        assert all(e["attempts"] == 1 for e in entries)
+        assert metrics.counter("exec.worker_crashes").total >= 1
+
+    def test_hung_case_is_hard_killed_bisected_and_quarantined(
+            self, tmp_path, monkeypatch, metrics):
+        """A case that hangs forever blows the shard deadline, gets its
+        worker killed for real, and after bisection is journaled as a
+        poison failure — while its shard-mates still complete."""
+        monkeypatch.setenv(CHAOS_ENV, "hang:m0")
+        journal = tmp_path / "campaign.journal"
+        policy = ExecPolicy(workers=1, shard_timeout_s=2.5,
+                            term_grace_s=0.5, max_shard_retries=0,
+                            heartbeat_misses=0)
+        summary = make_executor(
+            journal, matrices={"m0": MATRICES["m0"], "m1": MATRICES["m1"]},
+            policy=policy).run()
+
+        by_matrix = {o.case.matrix_name: o for o in summary.outcomes}
+        assert by_matrix["m1"].status == "ok"
+        poisoned = by_matrix["m0"]
+        assert poisoned.status == "failed"
+        assert poisoned.failure.taxonomy == "poison"
+        assert poisoned.failure.type == "WorkerCrashError"
+
+        kills = metrics.counter("exec.worker_kills")
+        assert any("deadline" in dict(key).get("reason", "")
+                   for key in kills.series)
+        assert metrics.counter("exec.shards_bisected").total == 1
+        assert metrics.counter("exec.cases_quarantined").total == 1
+        # The timed-out workers are dead, not leaked.
+        assert leaked_workers(journal.name + ".d") == []
+
+    def test_heartbeat_loss_is_detected_and_killed(
+            self, tmp_path, monkeypatch, metrics):
+        """A SIGSTOPped worker dodges SIGTERM but not the heartbeat
+        watchdog's SIGKILL; the respawn finishes the shard."""
+        marker = tmp_path / "stop.marker"
+        monkeypatch.setenv(CHAOS_ENV, f"stop:m0:{marker}")
+        journal = tmp_path / "campaign.journal"
+        policy = ExecPolicy(workers=1, heartbeat_interval_s=0.2,
+                            heartbeat_misses=10, term_grace_s=0.3)
+        summary = make_executor(
+            journal, matrices={"m0": MATRICES["m0"], "m1": MATRICES["m1"]},
+            policy=policy).run()
+
+        assert marker.exists()
+        assert summary.n_ok == 2
+        kills = metrics.counter("exec.worker_kills")
+        assert any("heartbeat" in dict(key).get("reason", "")
+                   for key in kills.series)
+        assert metrics.counter("exec.worker_crashes").total >= 1
+        assert leaked_workers(journal.name + ".d") == []
+
+
+class TestDseDistributed:
+    def space(self):
+        from repro.dse import DesignSpace
+
+        return DesignSpace.build({"num_dpgs": [2, 4]},
+                                 ["band:48:4:0.5"], ["spmv"])
+
+    def campaign(self, journal, resume=False):
+        from repro.dse import Campaign, make_strategy
+
+        return Campaign(self.space(), make_strategy("grid"),
+                        journal_path=journal, resume=resume,
+                        exec_policy=ExecPolicy(workers=2))
+
+    def test_resume_replays_with_zero_resimulation(self, tmp_path, metrics):
+        journal = tmp_path / "dse.journal"
+        first = self.campaign(journal).run()
+        assert first.n_simulated > 0 and first.n_resumed == 0
+        out1 = tmp_path / "frontier1.json"
+        first.write_json(out1)
+
+        obs.enable()  # fresh registry: count only the resumed run
+        second = self.campaign(journal, resume=True).run()
+        assert second.n_simulated == 0
+        assert second.n_resumed == first.n_simulated
+        assert obs.metrics().counter("dse.points_simulated").total == 0
+        assert obs.metrics().counter("dse.points_resumed").total == \
+            second.n_resumed
+
+        out2 = tmp_path / "frontier2.json"
+        second.write_json(out2)
+        assert out2.read_bytes() == out1.read_bytes()

@@ -149,7 +149,7 @@ class TestFactoriesAndFamilies:
 class TestWorkloadRegistry:
     def test_builtin_kinds(self):
         assert registered_workloads() == [
-            "band", "mtx", "poisson", "random", "rep", "rmat",
+            "band", "corpus", "mtx", "poisson", "random", "rep", "rmat",
         ]
 
     def test_every_synthetic_kind_builds(self):

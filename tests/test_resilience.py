@@ -308,6 +308,89 @@ class TestCheckpointResume:
         assert journal.exists()
 
 
+class TestThreadLeakAccounting:
+    def hang_sweep(self, n, release):
+        return make_sweep(n, stcs={"hang": lambda: HangModel(release)})
+
+    def test_leak_cap_fails_fast_after_journaling(self, tmp_path):
+        """Each abandoned timeout thread is counted; one past the cap
+        raises ThreadLeakError — but only after the triggering case's
+        outcome hit the journal, so a restart resumes cleanly."""
+        from repro import obs
+        from repro.errors import ThreadLeakError
+
+        release = threading.Event()
+        journal = tmp_path / "sweep.jsonl"
+        runner = ResilientRunner(
+            self.hang_sweep(4, release), timeout_s=0.2,
+            retry=RetryPolicy(max_retries=0), journal_path=journal,
+            max_leaked_threads=2,
+        )
+        obs.enable()
+        try:
+            with pytest.raises(ThreadLeakError, match="3 timed-out"):
+                runner.run()
+            assert runner.leaked_threads == 3
+            assert obs.metrics().counter("runner.leaked_threads").total == 3
+        finally:
+            obs.disable()
+            release.set()
+        # The cap tripped on the third leak, after journaling it.
+        entries = [json.loads(line)
+                   for line in journal.read_text().splitlines()[1:]]
+        assert len(entries) == 3
+        assert all(e["error"]["taxonomy"] == "timeout" for e in entries)
+
+    def test_leak_warning_names_the_case(self, caplog):
+        release = threading.Event()
+        try:
+            with caplog.at_level("WARNING", logger="repro.resilience.runner"):
+                ResilientRunner(
+                    self.hang_sweep(1, release), timeout_s=0.2,
+                    retry=RetryPolicy(max_retries=0),
+                ).run()
+        finally:
+            release.set()
+        leaks = [r for r in caplog.records if "zombie thread" in r.message]
+        assert len(leaks) == 1
+        assert "m0" in leaks[0].getMessage()
+
+    def test_cap_zero_disables_fail_fast(self, tmp_path):
+        release = threading.Event()
+        try:
+            summary = ResilientRunner(
+                self.hang_sweep(4, release), timeout_s=0.2,
+                retry=RetryPolicy(max_retries=0), max_leaked_threads=0,
+            ).run()
+        finally:
+            release.set()
+        assert summary.n_failed == 4  # every timeout journaled, no abort
+
+
+class TestJournalHardening:
+    def test_interior_garbled_line_raises_with_line_number(self, tmp_path):
+        """Only a truncated *final* line is crash debris; garble in the
+        middle means corruption and must not be silently skipped."""
+        journal = tmp_path / "sweep.jsonl"
+        ResilientRunner(make_sweep(3), journal_path=journal).run()
+        lines = journal.read_text().splitlines()
+        lines[2] = '{"case": {"matrix": "m1", "ker'
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 3"):
+            ResilientRunner(make_sweep(3), journal_path=journal,
+                            resume=True).run()
+
+    def test_garbled_non_final_line_with_valid_tail_raises(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        ResilientRunner(make_sweep(2), journal_path=journal).run()
+        lines = journal.read_text().splitlines()
+        lines[1], lines[2] = "%% flipped bits %%", lines[2]
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 2"):
+            ResilientRunner(make_sweep(2), journal_path=journal,
+                            resume=True).run()
+
+
 class TestCacheIntegration:
     def test_corrupt_cache_warns_and_rebuilds(self, tmp_path, caplog):
         cache = tmp_path / "blocks.npz"

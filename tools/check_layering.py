@@ -52,7 +52,11 @@ LAYERS = {
     "apps": 7,
     "perf": 7,
     "resilience": 7,
+    # dse and exec sit side by side: the DSE evaluator dispatches batches
+    # through the executor at module scope, while exec reaches back into
+    # dse's knob->config path only lazily (StcDef.factory).
     "dse": 8,
+    "exec": 8,
     "runtime": 9,
     "cli": 10,
     # Top-level package façade and entry point sit above everything.
