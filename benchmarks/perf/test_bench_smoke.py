@@ -41,6 +41,13 @@ def test_bench_smoke_report_structure(tmp_path):
         assert sweep[regime]["legacy_seconds"] > 0
         assert sweep[regime]["fast_seconds"] > 0
     assert sweep["speedup"] == sweep["warm"]["speedup"]
+    # The vectorised cold path must reproduce the legacy per-block
+    # reports case-for-case (host-time fields aside), and actually be
+    # faster.  The full-corpus target is 10x; the smoke floor is kept
+    # loose so CI containers with noisy clocks don't flake.
+    assert sweep["cold"]["reports_identical"] is True
+    assert sweep["cold"]["report_mismatches"] == []
+    assert sweep["cold"]["speedup"] >= 2.0
     assert sweep["totals"]["t1_tasks"] > 0
     assert sweep["cache"]["entries"] > 0
     assert sweep["cache"]["inserts"] == sweep["cache"]["entries"]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +58,23 @@ class BlockResult:
             self._vector = vec
         return vec
 
+    def action_vector_int(self) -> Optional[np.ndarray]:
+        """:meth:`action_vector` as int64, or ``None`` when non-integral.
+
+        Corpus-scale aggregation sums these in the integer domain so
+        totals stay exact past 2^53, where float64 accumulation would
+        silently round.  Models whose counters genuinely carry
+        fractional values return ``None`` and are aggregated in float64
+        as before.  Cached like the float vector.
+        """
+        vec = getattr(self, "_int_vector", False)
+        if vec is False:
+            float_vec = self.action_vector()
+            as_int = np.rint(float_vec).astype(np.int64)
+            vec = as_int if np.array_equal(as_int, float_vec) else None
+            self._int_vector = vec
+        return vec
+
     @property
     def mean_utilisation(self) -> float:
         """Average MAC utilisation implied by products / (cycles * lanes).
@@ -77,6 +95,16 @@ class STCModel(ABC):
     @abstractmethod
     def simulate_block(self, task: T1Task) -> BlockResult:
         """Simulate one 16x16x16 block task and return its outcome."""
+
+    def simulate_blocks(self, tasks: Sequence[T1Task]) -> List[BlockResult]:
+        """Evaluate a batch of block tasks; ``results[i]`` is ``tasks[i]``'s.
+
+        The default steps :meth:`simulate_block` per task.  Models with
+        a vectorised path (:class:`~repro.arch.unistc.UniSTC`) override
+        this; overrides must return results equal to the per-block path
+        — the engine's memo treats the two interchangeably.
+        """
+        return [self.simulate_block(task) for task in tasks]
 
     @property
     @abstractmethod

@@ -16,6 +16,7 @@ two level-2 bitmaps.  It
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.arch.tasks import T4Task
@@ -138,3 +139,36 @@ class DotProductGenerator:
             a_broadcasts=a_casts,
             b_broadcasts=b_casts,
         )
+
+
+#: Field order of the :func:`dpg_stats` summary tuple.
+DPG_STAT_FIELDS = (
+    "t4_tasks",
+    "a_elem_fetches",
+    "b_elem_fetches",
+    "a_broadcasts",
+    "b_broadcasts",
+    "c_writes",
+)
+
+
+@lru_cache(maxsize=65536)
+def dpg_stats(
+    a_tile_bitmap: int, b_tile_bitmap: int, n_cols: int = 4, fill_order: str = "z"
+) -> Tuple[int, int, int, int, int, int]:
+    """Memoised summary counts of one DPG decomposition.
+
+    Tile-bitmap pairs repeat heavily across blocks, and both the
+    stepped and the batched simulation paths only consume these six
+    integers (in :data:`DPG_STAT_FIELDS` order) — sharing one
+    process-wide memo keeps the two paths consuming identical numbers.
+    """
+    out = DotProductGenerator(fill_order).decompose(a_tile_bitmap, b_tile_bitmap, n_cols)
+    return (
+        len(out.t4_tasks),
+        out.a_elem_fetches,
+        out.b_elem_fetches,
+        out.a_broadcasts,
+        out.b_broadcasts,
+        out.c_writes,
+    )

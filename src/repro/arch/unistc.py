@@ -11,15 +11,14 @@ DPG cycles).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arch.base import BlockResult, STCModel
 from repro.arch.config import UniSTCConfig
 from repro.arch.counters import Counters
-from repro.arch.dpg import DotProductGenerator, DPGOutput
+from repro.arch.dpg import dpg_stats
 from repro.arch.sdpu import SegmentedDotProductUnit
 from repro.arch.tasks import T1Task, UtilHistogram
 from repro.arch.tms import TileMultiplyScheduler, tile_products
@@ -60,12 +59,6 @@ def decode_b_operand(b_bitmap: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]
         tile_bitmaps = (segs.astype(np.int64) * weights).sum(axis=1)[:, None]
         return tile_bitmaps, row_counts, 1
     raise SimulationError(f"unsupported B operand shape {b_bitmap.shape}")
-
-
-@lru_cache(maxsize=65536)
-def _dpg_decompose(a_tile_bitmap: int, b_tile_bitmap: int, n_cols: int, fill_order: str) -> DPGOutput:
-    """Memoised DPG decomposition — tile bitmap pairs repeat heavily."""
-    return DotProductGenerator(fill_order).decompose(a_tile_bitmap, b_tile_bitmap, n_cols)
 
 
 class UniSTC(STCModel):
@@ -163,17 +156,17 @@ class UniSTC(STCModel):
         t4_count = 0
         for k in range(products.shape[0]):
             for i, j in zip(*np.nonzero(products[k])):
-                out = _dpg_decompose(
+                t4, a_fetch, b_fetch, a_cast, b_cast, c_writes = dpg_stats(
                     int(a_tiles[i, k]), int(b_tiles[k, j]), n_cols, self.fill_order
                 )
-                t4_count += len(out.t4_tasks)
-                counters.add("a_elem_reads", out.a_elem_fetches)
-                counters.add("b_elem_reads", out.b_elem_fetches)
-                counters.add("a_net_transfers", out.a_elem_fetches)
-                counters.add("b_net_transfers", out.b_elem_fetches)
-                counters.add("a_broadcasts", out.a_broadcasts)
-                counters.add("b_broadcasts", out.b_broadcasts)
-                counters.add("accum_accesses", out.c_writes)
+                t4_count += t4
+                counters.add("a_elem_reads", a_fetch)
+                counters.add("b_elem_reads", b_fetch)
+                counters.add("a_net_transfers", a_fetch)
+                counters.add("b_net_transfers", b_fetch)
+                counters.add("a_broadcasts", a_cast)
+                counters.add("b_broadcasts", b_cast)
+                counters.add("accum_accesses", c_writes)
         c_outputs = int(
             np.count_nonzero(
                 task.a_bitmap().astype(np.int64) @ task.b_bitmap().astype(np.int64)
@@ -186,3 +179,14 @@ class UniSTC(STCModel):
         return BlockResult(
             cycles=cycles, products=total_products, util_hist=hist, counters=counters
         )
+
+    def simulate_blocks(self, tasks: Sequence[T1Task]) -> List[BlockResult]:
+        """Batched evaluation: array ops across the whole batch.
+
+        Delegates to :mod:`repro.arch.fastpath`, which resolves regular
+        pattern classes analytically and steps only irregular blocks;
+        results equal :meth:`simulate_block` per task exactly.
+        """
+        from repro.arch import fastpath
+
+        return fastpath.simulate_blocks(self, tasks)

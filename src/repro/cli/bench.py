@@ -27,6 +27,12 @@ def cmd_bench(args: argparse.Namespace, session: Session) -> int:
               file=sys.stderr)
         session.fail("legacy and fast sweep paths disagree on totals")
         return 1
+    if not report["corpus_sweep"]["cold"]["reports_identical"]:
+        bad = ", ".join(report["corpus_sweep"]["cold"]["report_mismatches"][:5])
+        print(f"error: legacy and fast per-case reports diverge ({bad})",
+              file=sys.stderr)
+        session.fail("legacy and fast per-case reports diverge")
+        return 1
     return 0
 
 

@@ -6,7 +6,12 @@ by composing the existing execution stack end to end:
 
 - **simulation** through :func:`repro.sim.parallel.simulate_parallel`
   (statically balanced cores sharing the engine's process-wide block
-  cache) or the serial engine for ``n_cores=1``;
+  cache) or the serial engine for ``n_cores=1`` — either way the cold
+  misses of each candidate config flow through the model's batched
+  evaluator (:mod:`repro.arch.fastpath` for Uni-STC variants), which
+  is what keeps wide campaigns over mostly-distinct configs tractable:
+  a new config shares no cache entries, so DSE throughput is bound by
+  exactly the cold path the batched evaluator accelerates;
 - **fault isolation, retries and journaling** through
   :class:`repro.resilience.runner.ResilientRunner` — every evaluated
   point (and every baseline run) is appended to one campaign journal,

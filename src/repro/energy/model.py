@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
-from repro.arch.counters import Counters
+from repro.arch.counters import ACTIONS, Counters
 from repro.arch.network import (
     MONOLITHIC_PATH,
     UNI_A_PATH,
@@ -126,11 +126,22 @@ class EnergyModel:
         self.table = table
 
     def breakdown(self, counters: Counters, stc_name: str) -> Dict[str, float]:
-        """Energy split into read-A / read-B / write-C / schedule / compute."""
+        """Energy split into read-A / read-B / write-C / schedule / compute.
+
+        Per-category terms accumulate in the fixed :data:`ACTIONS`
+        order, not the counters' insertion order — float addition is
+        not associative, and two evaluation paths that agree on every
+        counter must price to bit-identical energy regardless of the
+        order they recorded the counts in.
+        """
         t = self.table
         net = profile_for(stc_name)
         out = dict.fromkeys(BREAKDOWN_KEYS, 0.0)
-        for action, count in counters.items():
+        data = counters.as_dict()
+        for action in ACTIONS:
+            count = data.get(action)
+            if count is None:
+                continue
             if action == "a_elem_reads":
                 out["read_a"] += count * t.elem_read
             elif action == "a_net_transfers":

@@ -290,7 +290,10 @@ def coalesce_raw(batch: TaskBatch) -> CoalescedBatch:
     n_b = int(b_first.size)
     combined = a_cid[batch.a_index] * n_b + b_cid[batch.b_index]
     unique_keys, inverse = np.unique(combined, return_inverse=True)
-    agg = np.bincount(inverse, weights=batch.weights).astype(np.int64)
+    # Aggregate weights in the integer domain: bincount's float64
+    # accumulator would round totals past 2^53 (and astype truncates).
+    agg = np.zeros(unique_keys.size, dtype=np.int64)
+    np.add.at(agg, inverse, np.asarray(batch.weights, dtype=np.int64))
     a_bool = np.ascontiguousarray(batch.a_patterns.astype(bool, copy=False))
     b_bool = np.ascontiguousarray(batch.b_patterns.astype(bool, copy=False))
     a_bytes = [a_bool[int(i)].tobytes() for i in a_first]

@@ -66,6 +66,31 @@ def _time_best(fn: Callable[[], object], repeat: int,
     return best
 
 
+def report_digest(report) -> str:
+    """Canonical JSON of everything a simulation's semantics determine.
+
+    Host-dependent fields (wall time, cache attribution) are excluded;
+    two evaluation paths claiming equivalence must produce identical
+    digests case-for-case.  Used by the sweep bench's per-case
+    legacy-vs-fast identity check and by the CI smoke test.
+    """
+    return json.dumps(
+        {
+            "stc": report.stc,
+            "kernel": report.kernel,
+            "matrix": report.matrix,
+            "cycles": report.cycles,
+            "products": report.products,
+            "t1_tasks": report.t1_tasks,
+            "util_bins": [int(v) for v in report.util_hist.bins],
+            "counters": report.counters.as_dict(),
+            "energy_pj": report.energy_pj,
+            "energy_breakdown": report.energy_breakdown,
+        },
+        sort_keys=True,
+    )
+
+
 def _operands_for(kernel: str, bbc: BBCMatrix, seed: int) -> Dict[str, object]:
     """Deterministic non-matrix operands for one kernel invocation."""
     if kernel == "spmspv":
@@ -157,7 +182,12 @@ def bench_corpus_sweep(
       warm ratio.
 
     Totals (cycles / products / tasks) are cross-checked between the
-    modes — a disagreement invalidates the whole comparison.
+    modes — a disagreement invalidates the whole comparison.  Stronger
+    still, the last cold pass of each mode keeps every per-case report
+    digest (:func:`report_digest` — everything but host wall time and
+    cache attribution) and the modes must agree **per case**:
+    ``reports_identical`` is the byte-identity claim the fast path
+    makes, and ``report_mismatches`` names any case violating it.
     """
     cases = [
         (name, bbc, kernel, _operands_for(kernel, bbc, seed=i))
@@ -165,9 +195,13 @@ def bench_corpus_sweep(
         for kernel in kernels
     ]
 
-    def sweep(batched: bool, cache: BlockCache) -> Dict[str, int]:
+    def sweep(
+        batched: bool,
+        cache: BlockCache,
+        digests: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, int]:
         totals = {"cycles": 0, "products": 0, "t1_tasks": 0}
-        for _, bbc, kernel, operands in cases:
+        for name, bbc, kernel, operands in cases:
             report = simulate_kernel(
                 kernel, bbc, create_stc("uni-stc"), batched=batched,
                 cache=cache, **operands
@@ -175,6 +209,8 @@ def bench_corpus_sweep(
             totals["cycles"] += report.cycles
             totals["products"] += report.products
             totals["t1_tasks"] += report.t1_tasks
+            if digests is not None:
+                digests[f"{kernel}:{name}"] = report_digest(report)
         return totals
 
     # Cold passes: each repetition gets a fresh cache (else it is not
@@ -187,20 +223,32 @@ def bench_corpus_sweep(
     cold_repeat = min(2, max(1, repeat))
     cold_legacy_s = cold_fast_s = float("inf")
     totals: Dict[str, Dict[str, int]] = {}
+    legacy_digests: Dict[str, str] = {}
+    fast_digests: Dict[str, str] = {}
     warm_cache = BlockCache()
     for _ in range(cold_repeat):
+        legacy_digests = {}
         cold_legacy_s = min(cold_legacy_s, _time_best(
             lambda: totals.__setitem__(
-                "legacy", sweep(batched=False, cache=BlockCache())),
+                "legacy",
+                sweep(batched=False, cache=BlockCache(),
+                      digests=legacy_digests)),
             1, label="sweep_cold_legacy",
         ))
         warm_cache = BlockCache()
+        fast_digests = {}
         cold_fast_s = min(cold_fast_s, _time_best(
             lambda: totals.__setitem__(
-                "fast", sweep(batched=True, cache=warm_cache)),
+                "fast",
+                sweep(batched=True, cache=warm_cache,
+                      digests=fast_digests)),
             1, label="sweep_cold_fast",
         ))
     legacy_totals, fast_totals = totals["legacy"], totals["fast"]
+    mismatches = sorted(
+        case for case in legacy_digests
+        if fast_digests.get(case) != legacy_digests[case]
+    )
     stats = warm_cache.stats.as_dict() | {"entries": len(warm_cache)}
 
     warm_legacy_s = _time_best(
@@ -218,6 +266,8 @@ def bench_corpus_sweep(
             "legacy_seconds": cold_legacy_s,
             "fast_seconds": cold_fast_s,
             "speedup": cold_legacy_s / cold_fast_s if cold_fast_s else 0.0,
+            "reports_identical": not mismatches,
+            "report_mismatches": mismatches,
         },
         "warm": {
             "legacy_seconds": warm_legacy_s,
@@ -362,12 +412,16 @@ def render_summary(report: Dict[str, object]) -> str:
     cold, warm = sweep["cold"], sweep["warm"]
     lines.append(
         f"corpus sweep ({sweep['cases']} cases, totals_match="
-        f"{sweep['totals_match']}):"
+        f"{sweep['totals_match']}, reports_identical="
+        f"{cold.get('reports_identical')}):"
     )
     lines.append(
         f"  cold  {cold['legacy_seconds']:.3f}s -> {cold['fast_seconds']:.3f}s "
         f"({cold['speedup']:.1f}x)"
     )
+    if cold.get("report_mismatches"):
+        shown = ", ".join(cold["report_mismatches"][:5])
+        lines.append(f"  REPORT MISMATCH in: {shown}")
     lines.append(
         f"  warm  {warm['legacy_seconds']:.3f}s -> {warm['fast_seconds']:.3f}s "
         f"({warm['speedup']:.1f}x)"

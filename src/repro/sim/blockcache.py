@@ -137,6 +137,17 @@ class BlockCache:
             self._data.popitem(last=False)
             self.stats.evictions += 1
 
+    def rebound(self, capacity: Optional[int]) -> None:
+        """Change the entry bound (None = unbounded), evicting to fit now.
+
+        Evictions performed here count in the statistics like any
+        capacity-driven eviction.
+        """
+        if capacity is not None and capacity <= 0:
+            raise ConfigError("cache capacity must be positive (or None)")
+        self.capacity = capacity
+        self._evict()
+
     # -- mapping protocol (stats-neutral) --------------------------------
 
     def __len__(self) -> int:

@@ -54,8 +54,7 @@ def get_cache() -> BlockCache:
 
 def set_cache_capacity(capacity: Optional[int]) -> None:
     """Re-bound the process-wide cache (None = unbounded); evicts now."""
-    _BLOCK_CACHE.capacity = capacity
-    _BLOCK_CACHE._evict()
+    _BLOCK_CACHE.rebound(capacity)
 
 
 def clear_cache() -> None:
@@ -128,11 +127,17 @@ def simulate_batches(
     """Run batched (array-of-bitmap-pairs) task streams on one model.
 
     Each batch is coalesced so a distinct bitmap pair hits the model
-    (or the memo) exactly once with its aggregate weight, and
-    aggregation is a single weighted matrix product over the flattened
-    results (:meth:`~repro.arch.base.BlockResult.action_vector`) —
-    totals equal the per-task reference path exactly, without its
-    per-task ``merge`` calls.
+    (or the memo) exactly once with its aggregate weight.  All memo
+    misses of a batch are dispatched together through
+    :meth:`~repro.arch.base.STCModel.simulate_blocks` — one array-level
+    call on models with a vectorised path — and inserted into the
+    shared cache unchanged.  Aggregation is a single weighted matrix
+    product over the flattened results
+    (:meth:`~repro.arch.base.BlockResult.action_vector_int`), carried
+    in int64 so corpus-scale totals stay exact (falling back to float64
+    only for models whose counters are genuinely fractional) — totals
+    equal the per-task reference path exactly, without its per-task
+    ``merge`` calls.
     """
     memo = _BLOCK_CACHE if cache is None else cache
     report = SimReport(stc=stc.name, kernel=kernel, matrix=matrix)
@@ -145,25 +150,46 @@ def simulate_batches(
         with obs.span("batch", index=index, tasks=len(batch)):
             raw = coalesce_raw(batch)
             a_bytes, b_bytes, n = raw.a_bytes, raw.b_bytes, raw.n
+            pending = []
             for ai, bi, weight in raw.pairs:
                 key = (namespace, a_bytes[ai], b_bytes[bi])
                 result = memo.lookup(key)
                 if result is None:
-                    task = T1Task(a_bytes[ai], b_bytes[bi], n=n, weight=weight)
-                    result = stc.simulate_block(task)
-                    memo.insert(key, result)
-                rows.append(result.action_vector())
+                    # Memoised results must be weight-independent (the
+                    # stream weight is applied at aggregation time), so
+                    # the model never sees the aggregate weight.
+                    pending.append(
+                        (len(rows), key, T1Task(a_bytes[ai], b_bytes[bi], n=n, weight=1))
+                    )
+                rows.append(result)
                 weights.append(weight)
+            if pending:
+                missed = stc.simulate_blocks([task for _, _, task in pending])
+                for (slot, key, _), result in zip(pending, missed):
+                    memo.insert(key, result)
+                    rows[slot] = result
     if rows:
-        w = np.asarray(weights, dtype=np.float64)
-        acc = w @ np.stack(rows)
-        report.cycles = int(round(acc[0]))
-        report.products = int(round(acc[1]))
-        report.t1_tasks = int(w.sum())
-        report.util_hist.bins += np.rint(acc[2:6]).astype(np.int64)
-        for j, action in enumerate(ACTIONS):
-            if acc[6 + j]:
-                report.counters.add(action, float(acc[6 + j]))
+        int_rows = [result.action_vector_int() for result in rows]
+        if all(vec is not None for vec in int_rows):
+            w = np.asarray(weights, dtype=np.int64)
+            acc = w @ np.stack(int_rows)
+            report.cycles = int(acc[0])
+            report.products = int(acc[1])
+            report.t1_tasks = int(w.sum())
+            report.util_hist.bins += acc[2:6]
+            for j, action in enumerate(ACTIONS):
+                if acc[6 + j]:
+                    report.counters.add(action, int(acc[6 + j]))
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            acc = w @ np.stack([result.action_vector() for result in rows])
+            report.cycles = int(round(acc[0]))
+            report.products = int(round(acc[1]))
+            report.t1_tasks = int(w.sum())
+            report.util_hist.bins += np.rint(acc[2:6]).astype(np.int64)
+            for j, action in enumerate(ACTIONS):
+                if acc[6 + j]:
+                    report.counters.add(action, float(acc[6 + j]))
     if energy_model is not None:
         report.energy_breakdown = energy_model.breakdown(report.counters, stc.name)
         report.energy_pj = sum(report.energy_breakdown.values())

@@ -14,6 +14,13 @@ core's block-row range), so the serial and parallel task streams are
 one implementation and cannot drift.  All cores share one block-result
 memo (the engine's process-wide LRU, or an explicit ``cache``), so a
 pattern simulated on one core is a hit on every other.
+
+Each core runs through :func:`repro.sim.engine.simulate_batches`, so
+the cold misses of every core are dispatched through the model's
+batched evaluator (:meth:`~repro.arch.base.STCModel.simulate_blocks`,
+vectorised for Uni-STC by :mod:`repro.arch.fastpath`) — multi-core
+sweeps get the fast cold path for free, with results identical to the
+stepped reference by that API's contract.
 """
 
 from __future__ import annotations

@@ -15,7 +15,9 @@ from repro.errors import ShapeError
 from repro.formats.bbc import BBCMatrix
 from repro.kernels import KERNELS
 from repro.kernels.batched import (
+    TaskBatch,
     coalesce,
+    coalesce_raw,
     kernel_task_batches,
     spgemm_batch,
     spmm_batch,
@@ -84,6 +86,27 @@ class TestStreamParity:
                 assert sum(t.weight for t in tasks) == batch.total_tasks
                 assert len({t.cache_key() for t in tasks}) == len(tasks)
                 assert weights.sum() == batch.total_tasks
+
+    def test_coalesce_raw_weights_exact_past_2_53(self):
+        """Aggregate weights stay in the integer domain.
+
+        ``np.bincount``'s float64 accumulator (the old implementation)
+        silently rounds totals past 2^53; ``2^53 + 1`` collapses to
+        ``2^53`` there, and ``astype(int64)`` then bakes the loss in."""
+        big = (1 << 53) + 1
+        a = np.zeros((1, 16, 16), dtype=bool)
+        a[0, 0, 0] = True
+        b = np.ones((1, 16, 16), dtype=bool)
+        idx = np.zeros(2, dtype=np.int64)
+        batch = TaskBatch(
+            a_patterns=a, b_patterns=b, a_index=idx, b_index=idx,
+            weights=np.array([big, 2], dtype=np.int64), n=16,
+        )
+        raw = coalesce_raw(batch)
+        ((_, _, weight),) = raw.pairs
+        assert isinstance(weight, int)
+        assert weight == big + 2
+        assert float(weight) != weight  # the exact total has no float64 form
 
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_serial_and_partitioned_streams_agree(self, matrices, kernel):

@@ -112,6 +112,34 @@ class TestLRUBound:
         cache.update({_key(i): _result(i) for i in range(10, 16)})
         assert len(cache) == 3
 
+    def test_rebound_shrink_evicts_now(self):
+        cache = BlockCache(capacity=None)
+        for i in range(8):
+            cache.insert(_key(i), _result(i))
+        cache.lookup(_key(0))  # refresh 0 so it survives the shrink
+        cache.rebound(3)
+        assert cache.capacity == 3 and len(cache) == 3
+        assert _key(0) in cache and _key(7) in cache
+        assert cache.stats.evictions == 5
+
+    def test_rebound_grow_and_unbind_keep_entries(self):
+        cache = BlockCache(capacity=2)
+        cache.insert(_key(1), _result(1))
+        cache.insert(_key(2), _result(2))
+        cache.rebound(64)
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        cache.rebound(None)
+        for i in range(10, 110):
+            cache.insert(_key(i % 256), _result(i))
+        assert len(cache) == 102 and cache.stats.evictions == 0
+
+    def test_rebound_rejects_non_positive(self):
+        cache = BlockCache()
+        with pytest.raises(ConfigError):
+            cache.rebound(0)
+        with pytest.raises(ConfigError):
+            cache.rebound(-1)
+
     def test_bound_holds_under_sweep(self, bbc):
         """A capacity-bounded cache never exceeds its bound across a
         multi-kernel sweep, and eviction accounting balances."""

@@ -1,14 +1,18 @@
 """Tests for the simulation engine and reports."""
 
+import numpy as np
 import pytest
 
+from repro.arch.base import BlockResult, STCModel
 from repro.arch.tasks import T1Task
 from repro.arch.unistc import UniSTC
 from repro.baselines import DsSTC
 from repro.errors import SimulationError
+from repro.kernels.batched import TaskBatch
 from repro.kernels.taskstream import spgemm_tasks
 from repro.kernels.vector import SparseVector
 from repro.sim import engine
+from repro.sim.blockcache import BlockCache
 from repro.sim.results import ComparisonRow, SimReport, compare, geomean
 
 from tests.conftest import make_block_task
@@ -82,6 +86,112 @@ class TestSimulateKernel:
         report = engine.simulate_kernel("spmv", banded_bbc, uni)
         assert report.energy_pj > 0
         assert report.energy_pj == pytest.approx(sum(report.energy_breakdown.values()))
+
+
+class _WeightSensitiveSTC(STCModel):
+    """Misbehaving model whose block result leaks the task weight.
+
+    Real models are weight-independent, so the historic bug of handing
+    the coalesced aggregate weight to ``simulate_blocks`` was invisible
+    with them; this model makes it observable."""
+
+    name = "weight-spy"
+
+    def simulate_block(self, task):
+        result = BlockResult(cycles=10 * task.weight, products=task.weight)
+        result.counters.add("mac_ops", 7 * task.weight)
+        return result
+
+    @property
+    def macs(self):
+        return 64
+
+
+def _single_pair_batch(weights, n=16):
+    rng = np.random.default_rng(21)
+    a = (rng.random((1, 16, 16)) < 0.3)
+    b = (rng.random((1, 16, n)) < 0.3)
+    idx = np.zeros(len(weights), dtype=np.int64)
+    return TaskBatch(
+        a_patterns=a, b_patterns=b, a_index=idx, b_index=idx,
+        weights=np.asarray(weights, dtype=np.int64), n=n,
+    )
+
+
+class TestBatchedAggregation:
+    def test_cache_misses_simulated_at_unit_weight(self):
+        """The memoised block result must never absorb stream weights:
+        the model sees weight=1, aggregation applies the weight."""
+        stc = _WeightSensitiveSTC()
+        cache = BlockCache()
+        batch = _single_pair_batch([2, 3])  # coalesces to one pair, weight 5
+        report = engine.simulate_batches(stc, [batch], cache=cache, energy_model=None)
+        (cached,) = cache.values()
+        assert cached.cycles == 10 and cached.products == 1
+        assert report.cycles == 50 and report.products == 5
+        assert report.t1_tasks == 5
+        assert report.counters.get("mac_ops") == 35
+        # And it matches the ground truth: the stream fully expanded to
+        # five unit-weight tasks (weights exist only as a compression).
+        expanded = [
+            T1Task(task.a_bits, task.b_bits, n=task.n, weight=1)
+            for task in batch.iter_tasks() for _ in range(task.weight)
+        ]
+        reference = engine.simulate_tasks(
+            stc, expanded, cache=BlockCache(), energy_model=None
+        )
+        assert report.cycles == reference.cycles
+        assert report.counters.as_dict() == reference.counters.as_dict()
+
+    def test_int64_aggregation_exact_past_2_53(self):
+        """Weighted totals beyond float64's 2^53 integer range stay
+        exact: float64 accumulation would round them silently."""
+        weight = (1 << 53) + 1
+        batch = _single_pair_batch([weight])
+        stc = UniSTC()
+        report = engine.simulate_batches(stc, [batch], cache=BlockCache())
+        block = stc.simulate_block(next(iter(batch.iter_tasks())))
+        assert block.products % 2 == 1  # odd, so the product below is odd
+        exact = block.products * weight  # python ints: exact
+        assert float(exact) != exact  # float64 could not have held this
+        assert report.products == exact
+        assert report.cycles == block.cycles * weight
+        assert report.t1_tasks == weight
+        assert np.array_equal(
+            report.util_hist.bins,
+            np.asarray(block.util_hist.bins, dtype=object) * weight,
+        )
+
+    def test_batched_totals_equal_per_task_reference(self, uni):
+        batch = _single_pair_batch([1, 4, 2])
+        fast = engine.simulate_batches(uni, [batch], cache=BlockCache())
+        slow = engine.simulate_tasks(uni, batch.iter_tasks(), cache=BlockCache())
+        assert fast.cycles == slow.cycles
+        assert fast.products == slow.products
+        assert fast.t1_tasks == slow.t1_tasks
+        assert np.array_equal(fast.util_hist.bins, slow.util_hist.bins)
+        assert fast.counters.as_dict() == slow.counters.as_dict()
+        assert fast.energy_breakdown == slow.energy_breakdown
+
+    def test_float_fallback_for_fractional_counters(self):
+        class FractionalSTC(STCModel):
+            name = "fractional"
+
+            def simulate_block(self, task):
+                result = BlockResult(cycles=4, products=2)
+                result.counters.add("mac_ops", 1.5)
+                return result
+
+            @property
+            def macs(self):
+                return 64
+
+        report = engine.simulate_batches(
+            FractionalSTC(), [_single_pair_batch([3])],
+            cache=BlockCache(), energy_model=None,
+        )
+        assert report.cycles == 12
+        assert report.counters.get("mac_ops") == pytest.approx(4.5)
 
 
 class TestSimReport:
