@@ -62,6 +62,15 @@ def test_bench_smoke_report_structure(tmp_path):
     # to assert even in smoke mode.
     assert ov["estimated_disabled_overhead_pct"] < 2.0
 
+    tel = data["telemetry"]
+    assert tel["emits_per_sweep"] == sweep["cases"]
+    assert tel["baseline_seconds"] > 0 and tel["streamed_seconds"] > 0
+    assert tel["per_emit_us"] > 0
+    # The <2% budget for the streaming-telemetry channel: one
+    # journal-aligned progress emission per case, estimated the same
+    # deterministic way (emits x per-emit cost / baseline wall).
+    assert tel["estimated_overhead_pct"] < 2.0
+
 
 def test_bench_cli_smoke(tmp_path, capsys):
     out = tmp_path / "cli_bench.json"

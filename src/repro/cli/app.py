@@ -29,6 +29,7 @@ from repro.cli import (
     inspect_cmds,
     kernels,
     reporting,
+    top,
     worker,
 )
 from repro.errors import ReproError
@@ -45,6 +46,7 @@ _COMMAND_MODULES = (
     bench,
     dse,
     reporting,     # paper, report
+    top,           # live campaign status viewer
     worker,        # exec-supervisor internal
 )
 

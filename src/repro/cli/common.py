@@ -110,6 +110,17 @@ def add_exec_flags(parser: argparse.ArgumentParser) -> None:
         help="worker heartbeat period; a heartbeat stale for 10 "
              "intervals gets the worker killed",
     )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the per-shard telemetry streams (live status.json, "
+             "repro top, crash-proof metrics fold, trace stitching)",
+    )
+    parser.add_argument(
+        "--status-json", default="", metavar="FILE",
+        help="also write the final campaign status document here "
+             "(the campaign workdir and run-manifest dir get copies "
+             "regardless)",
+    )
 
 
 def exec_policy(args: argparse.Namespace) -> ExecPolicy:
@@ -152,6 +163,8 @@ def make_spec(
             trace_path=getattr(args, "trace", ""),
             metrics_path=getattr(args, "metrics", ""),
             force=force_obs,
+            telemetry=not getattr(args, "no_telemetry", False),
+            status_path=getattr(args, "status_json", ""),
         ),
         cache=CachePolicy(path=getattr(args, "cache", "")),
         resilience=ResiliencePolicy(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import sys
 
 import numpy as np
 
@@ -42,7 +43,11 @@ def cmd_corpus(args: argparse.Namespace, session: Session) -> int:
     # so the campaign is addressed by name, never by pickled arrays.
     matrices = {s.name: f"corpus:{s.name}" for s in specs}
     kernels = split_csv(args.kernel)
-    summary = session.executor(matrices, names, kernels).run()
+    executor = session.executor(matrices, names, kernels)
+    checkpoint = session.spec.resilience.checkpoint
+    if session.spec.exec.workers and checkpoint and session.spec.obs.telemetry:
+        print(f"live status: repro top {checkpoint}", file=sys.stderr)
+    summary = executor.run()
 
     by_cell = {(r.case.matrix_name, r.case.kernel, r.case.stc_name): r.report
                for r in summary.results}

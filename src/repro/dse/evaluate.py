@@ -195,6 +195,9 @@ class CachedEvaluator:
     #: keeps batches in-process.  Distributed batches run each case
     #: serially inside its worker, so ``n_cores`` is ignored there.
     exec_policy: Optional[ExecPolicy] = None
+    #: Stream per-shard telemetry from distributed batches (live
+    #: ``status.json`` in the batch workdir, ``repro top`` support).
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         self._sweep = PointSweep(matrices={}, stcs={}, kernels=[],
@@ -295,6 +298,7 @@ class CachedEvaluator:
                     max_retries=self.max_retries,
                     cache_path=self.cache_path,
                     policy=self.exec_policy,
+                    telemetry=self.telemetry,
                 )
                 summary = executor.run()
             else:

@@ -49,3 +49,12 @@ class ThreadLeakError(ReproError):
 
 class WorkerCrashError(ReproError):
     """A supervised worker process died without completing its shard."""
+
+
+class TelemetryError(ReproError):
+    """A streamed telemetry file is corrupt past its final line.
+
+    Mirrors the checkpoint-journal contract: a torn final line is a
+    normal crash artifact and is tolerated, interior garble means the
+    stream cannot be trusted.
+    """

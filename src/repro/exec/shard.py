@@ -114,6 +114,7 @@ class ShardSpec:
     journal: str = ""                       #: per-worker JSONL journal
     heartbeat: str = ""                     #: heartbeat file ("" disables)
     metrics: str = ""                       #: obs snapshot path ("" = obs off)
+    telemetry: str = ""                     #: streaming telemetry JSONL ("" disables)
 
     def __post_init__(self) -> None:
         if not self.shard_id:
@@ -160,6 +161,7 @@ class ShardSpec:
             "journal": self.journal,
             "heartbeat": self.heartbeat,
             "metrics": self.metrics,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -188,6 +190,7 @@ class ShardSpec:
                 journal=str(data.get("journal", "")),
                 heartbeat=str(data.get("heartbeat", "")),
                 metrics=str(data.get("metrics", "")),
+                telemetry=str(data.get("telemetry", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigError(f"malformed shard spec: {exc}") from exc
@@ -230,7 +233,8 @@ class ShardSpec:
         )
 
     def replace_cases(self, cases: List[SweepCase], shard_id: str,
-                      journal: str, heartbeat: str, metrics: str) -> "ShardSpec":
+                      journal: str, heartbeat: str, metrics: str,
+                      telemetry: str = "") -> "ShardSpec":
         """A derived shard (bisection) covering a subset of the cases."""
         used_matrices = {c.matrix_name for c in cases}
         used_stcs = {c.stc_name for c in cases}
@@ -250,6 +254,7 @@ class ShardSpec:
             journal=journal,
             heartbeat=heartbeat,
             metrics=metrics,
+            telemetry=telemetry,
         )
 
 

@@ -25,6 +25,13 @@ them to a pool of ``repro worker`` subprocesses, and supervises them:
   (:func:`repro.exec.journal.merge_journals`) and per-worker obs
   snapshots fold into the supervisor's registry, so a sharded run's
   artifacts match a single-process run's modulo wall-clock fields.
+- **Live telemetry** — with ``telemetry=True`` (the default) workers
+  stream journal-aligned metrics deltas and trace spans to per-shard
+  JSONL files; the supervisor tails them into a live ``status.json``
+  (the ``repro top`` view), folds streamed metrics in even for
+  SIGKILLed workers, and stitches every worker's spans into its own
+  tracer so the campaign exports one Chrome trace with real worker
+  pids.  See :mod:`repro.obs.telemetry`.
 
 ``policy.workers == 0`` — or an environment where subprocesses cannot
 be spawned at all — degrades to the plain in-process
@@ -52,6 +59,9 @@ from repro.errors import ConfigError
 from repro.exec import worker as worker_mod
 from repro.exec.journal import merge_journals
 from repro.exec.shard import CaseListSweep, ShardSpec, StcDef, shard_cases
+from repro.obs.metrics import tag_gauges
+from repro.obs.stitch import stitch_into_tracer
+from repro.obs.telemetry import CampaignMonitor, telemetry_path
 from repro.registry import parse_matrix_spec
 from repro.resilience.runner import (
     CaseFailure,
@@ -71,6 +81,13 @@ logger = logging.getLogger(__name__)
 #: Supervision loop granularity; kills and exits are detected within
 #: one tick.  Small enough for tests, cheap enough for real campaigns.
 _POLL_S = 0.05
+
+#: Telemetry tailing cadence — one stat() per shard per tail, so this
+#: stays coarser than the supervision tick.
+_TAIL_S = 0.25
+
+#: Live ``status.json`` refresh cadence inside the campaign workdir.
+_STATUS_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -136,6 +153,13 @@ class CampaignExecutor:
     max_retries: int = 1
     cache_path: Optional[Union[str, Path]] = None
     policy: ExecPolicy = field(default_factory=ExecPolicy)
+    #: Stream per-shard telemetry (metrics deltas, spans, live status).
+    #: On by default for distributed runs; the in-process path has
+    #: nothing to stream.
+    telemetry: bool = True
+    #: Extra destination for the final campaign status document (the
+    #: workdir always gets ``status.json`` while telemetry is on).
+    status_path: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.resume and self.journal_path is None:
@@ -245,8 +269,13 @@ class CampaignExecutor:
             if pending:
                 specs = self._make_shards(pending, fingerprint, workdir,
                                           metric_paths)
+                monitor: Optional[CampaignMonitor] = None
+                if self.telemetry:
+                    monitor = CampaignMonitor()
+                    monitor.campaign_total = len(order)
+                    monitor.prior_done = len(prior_ok)
                 try:
-                    self._supervise(specs, workdir, metric_paths)
+                    self._supervise(specs, workdir, metric_paths, monitor)
                 except OSError as exc:
                     # Subprocess dispatch is unavailable here (sandbox,
                     # exhausted PIDs, ...): degrade to in-process against
@@ -270,11 +299,31 @@ class CampaignExecutor:
                 shard_journals = sorted(workdir.glob("*.journal"))
                 merge_journals(journal, shard_journals, fingerprint,
                                order=order, cases=len(order))
-                if obs.enabled():
+                if monitor is not None:
+                    # Final sweep: records flushed between the last
+                    # supervision tick and the workers' exits.
+                    monitor.poll()
+                    if obs.enabled():
+                        # The stream is the crash-proof metrics channel:
+                        # it already holds every incarnation's last
+                        # journal-aligned state, SIGKILLed ones included.
+                        monitor.fold_into(obs.metrics())
+                        stitch_into_tracer(obs.tracer(),
+                                           monitor.spans_by_shard())
+                    monitor.write_status(workdir / "status.json",
+                                         state="done")
+                    if self.status_path is not None:
+                        monitor.write_status(self.status_path, state="done")
+                elif obs.enabled():
+                    # Legacy channel: per-worker snapshot files, written
+                    # only on clean exits.  Shard-tag the gauges so the
+                    # fold-in order cannot pick the surviving value.
                     for path in metric_paths:
                         if path.exists():
-                            obs.metrics().merge(
-                                json.loads(path.read_text(encoding="utf-8")))
+                            shard_id = path.name.split(".", 1)[0]
+                            obs.metrics().merge(tag_gauges(
+                                json.loads(path.read_text(encoding="utf-8")),
+                                shard=shard_id))
             elif not journal.exists():
                 # Everything resumed and nothing to do; still leave a
                 # well-formed journal behind.
@@ -303,8 +352,11 @@ class CampaignExecutor:
             shard_id = f"s{i}"
             used_matrices = {c.matrix_name for c in chunk}
             used_stcs = {c.stc_name for c in chunk}
+            # The telemetry stream subsumes the exit-time metrics file
+            # (and survives SIGKILL); only one channel folds in, or the
+            # campaign's counters would double.
             metrics = ""
-            if obs.enabled():
+            if obs.enabled() and not self.telemetry:
                 metrics_path = workdir / f"{shard_id}.metrics.json"
                 metric_paths.append(metrics_path)
                 metrics = str(metrics_path)
@@ -325,24 +377,34 @@ class CampaignExecutor:
                 journal=str(workdir / f"{shard_id}.journal"),
                 heartbeat=str(workdir / f"{shard_id}.heartbeat"),
                 metrics=metrics,
+                telemetry=(str(telemetry_path(workdir, shard_id))
+                           if self.telemetry else ""),
             ))
         return specs
 
     # -- supervision loop ------------------------------------------------
 
     def _supervise(self, specs: List[ShardSpec], workdir: Path,
-                   metric_paths: List[Path]) -> None:
+                   metric_paths: List[Path],
+                   monitor: Optional[CampaignMonitor] = None) -> None:
         policy = self.policy
         rng = np.random.default_rng(self.seed)
         backoff = RetryPolicy(max_retries=policy.max_shard_retries)
         queue: List[ShardSpec] = list(specs)
         active: Dict[str, _ShardState] = {}
         first_spawn = True
+        next_tail = next_status = 0.0
         try:
             while queue or active:
                 while queue and len(active) < policy.workers:
                     spec = queue.pop(0)
                     state = self._prepare(spec, workdir)
+                    if monitor is not None and spec.telemetry:
+                        # Bisection children register here too — every
+                        # dispatched shard is tailed from its first beat.
+                        monitor.add_shard(spec.shard_id,
+                                          Path(spec.telemetry),
+                                          total=len(spec.cases))
                     try:
                         self._spawn(state)
                     except OSError:
@@ -381,6 +443,8 @@ class CampaignExecutor:
                         if reason is None:
                             continue
                         obs.inc("exec.worker_kills", reason=reason)
+                        obs.event("exec.kill", shard=shard_id,
+                                  pid=state.proc.pid, reason=reason)
                         logger.warning(
                             "killing shard %s worker (pid %d): %s",
                             shard_id, state.proc.pid, reason)
@@ -407,6 +471,12 @@ class CampaignExecutor:
                     state.proc = None
                     state.respawn_at = now + backoff.delay(
                         min(state.crashes - 1, policy.max_shard_retries), rng)
+                if monitor is not None and now >= next_tail:
+                    next_tail = now + _TAIL_S
+                    monitor.poll()
+                    if now >= next_status:
+                        next_status = now + _STATUS_S
+                        monitor.write_status(workdir / "status.json")
                 time.sleep(_POLL_S)
         finally:
             for state in active.values():
@@ -437,6 +507,9 @@ class CampaignExecutor:
             stdout=state.log_handle, stderr=subprocess.STDOUT, env=env,
         )
         state.started_at = time.monotonic()
+        obs.event("exec.respawn" if state.crashes else "exec.dispatch",
+                  shard=state.spec.shard_id, pid=state.proc.pid,
+                  crashes=state.crashes)
 
     @staticmethod
     def _close_log(state: _ShardState) -> None:
@@ -498,11 +571,12 @@ class CampaignExecutor:
             self._quarantine(spec, pending[0], state.crashes)
             return
         obs.inc("exec.shards_bisected")
+        obs.event("exec.bisect", shard=spec.shard_id, pending=len(pending))
         mid = (len(pending) + 1) // 2
         for suffix, chunk in (("a", pending[:mid]), ("b", pending[mid:])):
             child_id = spec.shard_id + suffix
             metrics = ""
-            if obs.enabled():
+            if obs.enabled() and not self.telemetry:
                 metrics_path = workdir / f"{child_id}.metrics.json"
                 metric_paths.append(metrics_path)
                 metrics = str(metrics_path)
@@ -511,6 +585,8 @@ class CampaignExecutor:
                 journal=str(workdir / f"{child_id}.journal"),
                 heartbeat=str(workdir / f"{child_id}.heartbeat"),
                 metrics=metrics,
+                telemetry=(str(telemetry_path(workdir, child_id))
+                           if self.telemetry else ""),
             ))
         logger.warning(
             "shard %s exhausted its crash budget with %d pending case(s); "
@@ -521,6 +597,9 @@ class CampaignExecutor:
                     crashes: int) -> None:
         """Journal the single case that keeps killing workers."""
         obs.inc("exec.cases_quarantined")
+        obs.event("exec.quarantine", shard=spec.shard_id,
+                  matrix=case.matrix_name, stc=case.stc_name,
+                  kernel=case.kernel)
         logger.error(
             "quarantining poison case (%s, %s, %s): it killed its worker "
             "%d time(s)", case.matrix_name, case.kernel, case.stc_name,

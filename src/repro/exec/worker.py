@@ -4,7 +4,10 @@ A worker process reads one :class:`~repro.exec.shard.ShardSpec`,
 rebuilds its slice of the campaign grid, and runs it through the same
 :class:`~repro.resilience.runner.ResilientRunner` the in-process path
 uses — appending to the shard's private journal, beating a heartbeat
-file, and dumping an obs metrics snapshot on the way out.  The worker
+file, streaming journal-aligned telemetry records (metrics deltas per
+finished case, spans on the heartbeat cadence; see
+:mod:`repro.obs.telemetry`), and dumping an obs metrics snapshot on
+the way out.  The worker
 *always* resumes from its own journal if one exists: a respawned
 worker (after a crash or a recycle) picks up exactly where its
 predecessor's last flushed line left off, so no finished case is ever
@@ -55,6 +58,7 @@ from typing import Callable, Optional
 from repro import obs
 from repro.errors import ConfigError, ThreadLeakError
 from repro.exec.shard import ShardSpec
+from repro.obs.telemetry import TelemetryWriter
 from repro.resilience.runner import (
     CaseOutcome,
     ResilientRunner,
@@ -82,10 +86,12 @@ class Heartbeat:
     supervisor never reads a half-written beat.
     """
 
-    def __init__(self, path: Path, interval_s: float) -> None:
+    def __init__(self, path: Path, interval_s: float,
+                 on_beat: Optional[Callable[[], None]] = None) -> None:
         self._path = path
         self._interval_s = max(interval_s, 0.05)
         self._done = 0
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, name="repro-heartbeat", daemon=True
@@ -109,6 +115,12 @@ class Heartbeat:
     def _loop(self) -> None:
         while not self._stop.wait(self._interval_s):
             self._beat()
+            if self._on_beat is not None:
+                try:
+                    self._on_beat()
+                except Exception:   # noqa: BLE001 - never kill the beat
+                    logger.warning("heartbeat side-channel failed",
+                                   exc_info=True)
 
     def __enter__(self) -> "Heartbeat":
         self._beat()
@@ -168,7 +180,9 @@ def run_shard(spec: ShardSpec) -> int:
     silently replayed.  Workers never share a block-cache file —
     concurrent writers would race — so ``cache_path`` stays unset.
     """
-    if spec.metrics:
+    if spec.metrics or spec.telemetry:
+        # Telemetry streams metrics deltas and spans, so it needs the
+        # obs layer recording even when no metrics file was asked for.
         obs.enable()
     sweep = spec.build_sweep()
     chaos = os.environ.get(CHAOS_ENV)
@@ -195,18 +209,42 @@ def run_shard(spec: ShardSpec) -> int:
 
     signal.signal(signal.SIGTERM, on_sigterm)
 
+    telemetry = None
+    if spec.telemetry:
+        telemetry = TelemetryWriter(
+            spec.telemetry, spec.shard_id, total=len(spec.cases),
+            registry=obs.metrics(), tracer=obs.tracer(),
+        )
+
     heartbeat = None
     if spec.heartbeat:
         hb_path = Path(spec.heartbeat)
         hb_path.parent.mkdir(parents=True, exist_ok=True)
-        heartbeat = Heartbeat(hb_path, spec.heartbeat_interval_s)
+        # The telemetry beat piggybacks on the heartbeat cadence: one
+        # timer thread drives both liveness channels.
+        heartbeat = Heartbeat(
+            hb_path, spec.heartbeat_interval_s,
+            on_beat=telemetry.beat if telemetry is not None else None,
+        )
+
+    done = 0
 
     def progress(outcome: CaseOutcome) -> None:
+        nonlocal done
+        done += 1
         if heartbeat is not None:
             heartbeat.advance()
+        if telemetry is not None:
+            # The runner journals the case before this callback fires,
+            # so every progress record is journal-aligned: whatever a
+            # SIGKILL loses after this line was never journaled either.
+            telemetry.case_done(done)
 
     exit_code = EXIT_OK
+    phase = "finished"
     try:
+        if telemetry is not None:
+            telemetry.start()
         if heartbeat is not None:
             heartbeat.__enter__()
         try:
@@ -215,13 +253,22 @@ def run_shard(spec: ShardSpec) -> int:
             logger.warning("shard %s requests a recycle: %s",
                            spec.shard_id, exc)
             exit_code = EXIT_RECYCLE
+            phase = "recycling"
+        except SystemExit:
+            phase = "terminated"
+            raise
+        except BaseException:
+            phase = "aborted"
+            raise
     finally:
         if heartbeat is not None:
             heartbeat.__exit__(None, None, None)
+        if telemetry is not None:
+            telemetry.finish(phase)
         if spec.metrics:
-            # Best-effort: a SIGKILLed worker never reaches this point,
-            # and the campaign's counters undercount by that worker's
-            # share (documented in docs/robustness.md).
+            # Best-effort: a SIGKILLed worker never reaches this point.
+            # The telemetry stream above is the crash-proof channel;
+            # this file stays for single-artifact debugging.
             try:
                 obs.metrics().write_json(spec.metrics)
             except OSError:

@@ -36,28 +36,57 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    expand_delta,
+    tag_gauges,
+)
+from repro.obs.stitch import stitch_chrome_trace, stitch_into_tracer
+from repro.obs.telemetry import (
+    STATUS_KIND,
+    STATUS_SCHEMA,
+    TELEMETRY_SCHEMA,
+    CampaignMonitor,
+    MetricsFold,
+    TelemetryTailer,
+    TelemetryWriter,
+    check_status,
+    fold_metrics,
+    telemetry_path,
 )
 from repro.obs.tracer import NULL_SPAN, EventRecord, Span, SpanRecord, Tracer
 
 __all__ = [
+    "CampaignMonitor",
     "Counter",
     "EventRecord",
     "Gauge",
     "Histogram",
+    "MetricsFold",
     "MetricsRegistry",
     "NULL_SPAN",
+    "STATUS_KIND",
+    "STATUS_SCHEMA",
     "Span",
     "SpanRecord",
+    "TELEMETRY_SCHEMA",
+    "TelemetryTailer",
+    "TelemetryWriter",
     "Tracer",
+    "check_status",
     "disable",
     "enable",
     "enabled",
     "event",
+    "expand_delta",
+    "fold_metrics",
     "inc",
     "metrics",
     "observe",
     "set_gauge",
     "span",
+    "stitch_chrome_trace",
+    "stitch_into_tracer",
+    "tag_gauges",
+    "telemetry_path",
     "tracer",
 ]
 

@@ -19,7 +19,20 @@ Semantics are deliberately simple and merge-friendly:
 zeroes everything; :meth:`MetricsRegistry.merge` folds another
 registry's snapshot in, which is how per-worker registries (threads in
 the resilient runner, cores in ``simulate_parallel``, or entire
-processes) combine at join time.
+processes) combine at join time.  :meth:`MetricsRegistry.snapshot_delta`
+is the streaming variant: just the series written since the last delta
+(values stay cumulative), in a **compact wire form** — flat
+``{"c"|"g"|"h": {series-key: value}}`` maps whose keys are cached
+``name U+001F labels-json`` strings — because it runs once per finished
+case on the telemetry hot path (``repro.obs.telemetry``) where the
+verbose snapshot shape would cost more to serialise than it is worth.
+:func:`expand_delta` converts the compact form back to snapshot shape
+on the (cold) reader side.
+
+On the wire, histogram ``bounds`` carry an explicit ``null`` terminator
+marking the +Inf overflow bucket, so ``len(bounds) == len(counts)`` and
+bucket counts always sum to ``count``; :meth:`MetricsRegistry.merge`
+accepts snapshots with or without the marker.
 
 All mutation goes through one registry lock.  The instruments are
 value holders, not live handles: hot paths should keep calls coarse
@@ -55,6 +68,86 @@ def label_key(labels: Dict[str, object]) -> LabelKey:
 
 def _labels_dict(key: LabelKey) -> Dict[str, str]:
     return {k: v for k, v in key}
+
+
+def wire_key(name: str, key: LabelKey) -> str:
+    """The compact-delta series key: name + U+001F + labels JSON.
+
+    The separator cannot appear in a metric name and the labels ride as
+    canonical JSON (sorted, compact), so the key is unambiguous and
+    cheap to split.  A label-less series is just the bare name.
+    """
+    if not key:
+        return name
+    return name + "\x1f" + json.dumps(
+        _labels_dict(key), sort_keys=True, separators=(",", ":"))
+
+
+def parse_wire_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a :func:`wire_key` back into (name, labels dict)."""
+    name, _, labels_json = key.partition("\x1f")
+    return name, (json.loads(labels_json) if labels_json else {})
+
+
+def expand_delta(delta: Dict[str, object]) -> Dict[str, object]:
+    """Convert a compact :meth:`MetricsRegistry.snapshot_delta` to
+    snapshot shape (the form :meth:`MetricsRegistry.merge` accepts).
+
+    Histogram values arrive as ``[bounds, counts, sum, count, min,
+    max]`` positional lists and leave as full entry dicts.
+    """
+    counters: Dict[str, List[dict]] = {}
+    gauges: Dict[str, List[dict]] = {}
+    histograms: Dict[str, List[dict]] = {}
+    for section, out in (("c", counters), ("g", gauges)):
+        for key, value in delta.get(section, {}).items():
+            name, labels = parse_wire_key(key)
+            out.setdefault(name, []).append(
+                {"labels": labels, "value": value})
+    for key, packed in delta.get("h", {}).items():
+        name, labels = parse_wire_key(key)
+        bounds, counts, total, count, lo, hi = packed
+        histograms.setdefault(name, []).append({
+            "labels": labels, "bounds": list(bounds),
+            "counts": list(counts), "sum": total, "count": count,
+            "min": lo, "max": hi,
+        })
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+def _wire_bounds(bounds: Sequence[object]) -> Tuple[float, ...]:
+    """Bucket bounds of a snapshot entry, +Inf marker stripped.
+
+    Snapshots written before the marker existed carry the bare bounds;
+    both forms must merge.
+    """
+    bounds = list(bounds)
+    if bounds and bounds[-1] is None:
+        bounds.pop()
+    return tuple(float(b) for b in bounds)
+
+
+def tag_gauges(snapshot: Dict[str, object], **labels) -> Dict[str, object]:
+    """A copy of a snapshot with extra labels on every gauge series.
+
+    Gauge merges are last-write-wins, so folding several worker
+    snapshots into one registry would let fold-in *order* silently pick
+    the surviving value.  Tagging each worker's gauges with its shard
+    id first keeps every reading as its own series and makes the merge
+    order-independent.  Labels already present on a series win over the
+    tags (no silent overwrite of a more specific label).
+    """
+    out = dict(snapshot)
+    out["gauges"] = {
+        name: [
+            {"labels": {**labels, **entry["labels"]},
+             "value": entry["value"]}
+            for entry in entries
+        ]
+        for name, entries in snapshot.get("gauges", {}).items()
+    }
+    return out
 
 
 @dataclass
@@ -161,6 +254,12 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Series written since the last ``snapshot_delta()``, as
+        #: ("counter"|"gauge"|"histogram", name, label_key) triples.
+        self._dirty: set = set()
+        #: (name, label_key) -> wire_key cache; series keys recur every
+        #: case, so the delta hot path never re-serialises labels.
+        self._wire_keys: Dict[Tuple[str, LabelKey], str] = {}
 
     # -- instrument access (get-or-create) -------------------------------
 
@@ -195,6 +294,7 @@ class MetricsRegistry:
             if inst is None:
                 inst = self._counters[name] = Counter(name)
             inst.inc(value, **labels)
+            self._dirty.add(("counter", name, label_key(labels)))
 
     def set(self, name: str, value: float, **labels) -> None:
         with self._lock:
@@ -202,6 +302,7 @@ class MetricsRegistry:
             if inst is None:
                 inst = self._gauges[name] = Gauge(name)
             inst.set(value, **labels)
+            self._dirty.add(("gauge", name, label_key(labels)))
 
     def observe(self, name: str, value: float, **labels) -> None:
         with self._lock:
@@ -209,8 +310,25 @@ class MetricsRegistry:
             if inst is None:
                 inst = self._histograms[name] = Histogram(name)
             inst.observe(value, **labels)
+            self._dirty.add(("histogram", name, label_key(labels)))
 
     # -- snapshot / reset / merge ----------------------------------------
+
+    @staticmethod
+    def _histogram_entry(key: LabelKey,
+                         series: HistogramSeries) -> Dict[str, object]:
+        # The trailing null is the explicit +Inf bucket bound, so a
+        # consumer zipping bounds with counts sees the overflow bucket
+        # instead of silently dropping it.
+        return {
+            "labels": _labels_dict(key),
+            "bounds": list(series.bounds) + [None],
+            "counts": list(series.counts),
+            "sum": series.sum,
+            "count": series.count,
+            "min": series.min if series.count else None,
+            "max": series.max if series.count else None,
+        }
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready view of every series (labels expanded to dicts)."""
@@ -232,20 +350,67 @@ class MetricsRegistry:
                 },
                 "histograms": {
                     name: [
-                        {
-                            "labels": _labels_dict(key),
-                            "bounds": list(series.bounds),
-                            "counts": list(series.counts),
-                            "sum": series.sum,
-                            "count": series.count,
-                            "min": series.min if series.count else None,
-                            "max": series.max if series.count else None,
-                        }
+                        self._histogram_entry(key, series)
                         for key, series in sorted(inst.series.items())
                     ]
                     for name, inst in sorted(self._histograms.items())
                 },
             }
+
+    def _wire_key(self, name: str, key: LabelKey) -> str:
+        cached = self._wire_keys.get((name, key))
+        if cached is None:
+            cached = self._wire_keys[(name, key)] = wire_key(name, key)
+        return cached
+
+    def snapshot_delta(self) -> Dict[str, object]:
+        """The series written since the previous delta, compact form.
+
+        Values are **cumulative** (the series' current value, not an
+        increment), so a reader can reconstruct exact registry state by
+        overwriting series as deltas arrive — the replay rule
+        ``repro.obs.telemetry`` folds streamed worker metrics with.
+
+        The shape is the flat wire form :func:`expand_delta` decodes:
+        ``{"c": {wire_key: value}, "g": {...}, "h": {wire_key:
+        [bounds, counts, sum, count, min, max]}}``, empty sections
+        omitted (``{}`` when idle).  This runs once per finished case
+        in telemetry workers, hence the key cache and the positional
+        histogram packing.  Clears the dirty set.
+        """
+        with self._lock:
+            c: Dict[str, float] = {}
+            g: Dict[str, float] = {}
+            h: Dict[str, list] = {}
+            for kind, name, key in sorted(self._dirty):
+                if kind == "counter":
+                    inst = self._counters.get(name)
+                    if inst is not None and key in inst.series:
+                        c[self._wire_key(name, key)] = inst.series[key]
+                elif kind == "gauge":
+                    inst = self._gauges.get(name)
+                    if inst is not None and key in inst.series:
+                        g[self._wire_key(name, key)] = inst.series[key]
+                else:
+                    inst = self._histograms.get(name)
+                    series = inst.series.get(key) if inst else None
+                    if series is not None:
+                        h[self._wire_key(name, key)] = [
+                            list(series.bounds) + [None],
+                            list(series.counts),
+                            series.sum, series.count,
+                            series.min if series.count else None,
+                            series.max if series.count else None,
+                        ]
+            self._dirty.clear()
+            delta: Dict[str, object] = {}
+            if c:
+                delta["c"] = c
+            if g:
+                delta["g"] = g
+            if h:
+                delta["h"] = h
+            return delta
 
     def reset(self) -> None:
         """Drop every instrument and series."""
@@ -253,6 +418,8 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._dirty.clear()
+            self._wire_keys.clear()
 
     def merge(self, other: Union["MetricsRegistry", Dict[str, object]]) -> None:
         """Fold another registry (or its :meth:`snapshot`) into this one.
@@ -271,13 +438,14 @@ class MetricsRegistry:
             hist = self.histogram(name)
             for entry in entries:
                 key = label_key(entry["labels"])
+                bounds = _wire_bounds(entry["bounds"])
                 with self._lock:
                     series = hist.series.get(key)
                     if series is None:
                         series = hist.series[key] = HistogramSeries(
-                            bounds=tuple(entry["bounds"])
+                            bounds=bounds
                         )
-                    if tuple(entry["bounds"]) != series.bounds:
+                    if bounds != series.bounds:
                         raise ConfigError(
                             f"histogram {name!r} bucket bounds disagree on merge"
                         )
@@ -289,6 +457,7 @@ class MetricsRegistry:
                     if entry["count"]:
                         series.min = min(series.min, entry["min"])
                         series.max = max(series.max, entry["max"])
+                    self._dirty.add(("histogram", name, key))
 
     def write_json(self, path: Union[str, Path]) -> None:
         """Dump :meth:`snapshot` as indented JSON."""

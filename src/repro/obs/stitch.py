@@ -1,0 +1,90 @@
+"""Stitch per-worker trace streams into one campaign timeline.
+
+Workers stream their finished spans and instant events through
+``spans`` telemetry records (:mod:`repro.obs.telemetry`), each carrying
+the worker tracer's wall-clock epoch.  :func:`stitch_into_tracer`
+rebases those records onto the supervisor tracer's epoch — the shift is
+just the difference of the two wall-clock anchors, in microseconds —
+and adopts them with their **real worker pid**, so the supervisor's
+ordinary Chrome-trace export renders the whole sharded campaign as one
+Perfetto view: one named process track per worker, the supervisor's
+own spans and lifecycle instant events (dispatch / kill / respawn /
+bisect) on the supervisor track.
+
+Wall clocks are not perf counters: NTP slew between the two reads can
+skew worker tracks by milliseconds.  That is fine for a flame view and
+irrelevant for within-worker durations, which never get rebased.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import EventRecord, SpanRecord, Tracer
+
+
+def stitch_into_tracer(
+    tracer: Tracer,
+    spans_by_shard: Dict[str, List[dict]],
+    label: str = "worker",
+    supervisor_label: Optional[str] = "supervisor",
+) -> int:
+    """Adopt every shard's streamed span records into ``tracer``.
+
+    ``spans_by_shard`` maps shard ids to their ``spans`` telemetry
+    records (:meth:`CampaignMonitor.spans_by_shard`).  Returns the
+    number of spans + events adopted.  Each worker pid gets a
+    ``process_name`` label like ``worker s0 (pid 4242)``; pass
+    ``supervisor_label=None`` to skip labelling the tracer's own pid.
+    """
+    adopted = 0
+    if supervisor_label:
+        tracer.process_labels.setdefault(tracer.pid, supervisor_label)
+    for shard_id in sorted(spans_by_shard):
+        for record in spans_by_shard[shard_id]:
+            epoch_wall = record.get("epoch_wall_s")
+            pid = record.get("pid")
+            if not isinstance(epoch_wall, (int, float)) or pid is None:
+                continue   # malformed: skip the record, keep the rest
+            shift_us = (float(epoch_wall) - tracer.epoch_wall) * 1e6
+            spans = [
+                SpanRecord(
+                    name=s["name"], ts_us=s["ts_us"] + shift_us,
+                    dur_us=s["dur_us"], tid=s["tid"],
+                    depth=s.get("depth", 0), parent=s.get("parent"),
+                    args=dict(s.get("args", {})), pid=int(pid),
+                )
+                for s in record.get("spans", [])
+            ]
+            events = [
+                EventRecord(
+                    name=e["name"], ts_us=e["ts_us"] + shift_us,
+                    tid=e["tid"], args=dict(e.get("args", {})),
+                    pid=int(pid),
+                )
+                for e in record.get("events", [])
+            ]
+            if spans or events:
+                tracer.adopt(spans, events)
+                adopted += len(spans) + len(events)
+                tracer.process_labels.setdefault(
+                    int(pid), f"{label} {shard_id} (pid {pid})")
+    return adopted
+
+
+def stitch_chrome_trace(
+    spans_by_shard: Dict[str, List[dict]],
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, object]:
+    """A standalone stitched ``trace_event`` document.
+
+    With ``tracer`` the supervisor's own records are included;
+    without, a fresh anonymous tracer anchors the timeline (useful for
+    re-stitching a finished campaign's workdir offline).
+    """
+    if tracer is None:
+        tracer = Tracer()
+        stitch_into_tracer(tracer, spans_by_shard, supervisor_label=None)
+    else:
+        stitch_into_tracer(tracer, spans_by_shard)
+    return tracer.chrome_trace()

@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 
 class _NullSpan:
@@ -73,6 +73,7 @@ class SpanRecord:
     depth: int            # nesting depth on its thread (0 = root)
     parent: Optional[str] = None
     args: Dict[str, object] = field(default_factory=dict)
+    pid: Optional[int] = None   #: foreign process; None = the tracer's own
 
 
 @dataclass
@@ -83,6 +84,7 @@ class EventRecord:
     ts_us: float
     tid: int
     args: Dict[str, object] = field(default_factory=dict)
+    pid: Optional[int] = None   #: foreign process; None = the tracer's own
 
 
 class Span:
@@ -147,7 +149,12 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.clock = clock
         self.epoch = clock()
+        #: Wall-clock time of the epoch — the cross-process anchor the
+        #: telemetry stitcher rebases worker timestamps against.
+        self.epoch_wall = time.time()
         self.pid = os.getpid()
+        #: Chrome ``process_name`` labels per pid (stitched campaigns).
+        self.process_labels: Dict[int, str] = {}
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self._lock = threading.Lock()
@@ -182,6 +189,26 @@ class Tracer:
             self.spans.clear()
             self.events.clear()
 
+    def drain(self, span_start: int, event_start: int
+              ) -> "Tuple[List[SpanRecord], List[EventRecord]]":
+        """Finished records past the given indices (streaming export).
+
+        The record lists are append-only while recording, so a caller
+        holding ``(span_start, event_start)`` cursors and advancing
+        them by the returned lengths reads each record exactly once —
+        the telemetry writer's incremental span flush.
+        """
+        with self._lock:
+            return (list(self.spans[span_start:]),
+                    list(self.events[event_start:]))
+
+    def adopt(self, spans: "Sequence[SpanRecord]",
+              events: "Sequence[EventRecord]") -> None:
+        """Append already-rebased foreign records (cross-process stitch)."""
+        with self._lock:
+            self.spans.extend(spans)
+            self.events.extend(events)
+
     def merge(self, other: "Tracer") -> None:
         """Adopt another tracer's finished records (per-worker join).
 
@@ -194,18 +221,23 @@ class Tracer:
                 self.spans.append(SpanRecord(
                     name=span.name, ts_us=span.ts_us + shift_us,
                     dur_us=span.dur_us, tid=span.tid, depth=span.depth,
-                    parent=span.parent, args=span.args,
+                    parent=span.parent, args=span.args, pid=span.pid,
                 ))
             for event in other.events:
                 self.events.append(EventRecord(
                     name=event.name, ts_us=event.ts_us + shift_us,
-                    tid=event.tid, args=event.args,
+                    tid=event.tid, args=event.args, pid=event.pid,
                 ))
 
     # -- export -----------------------------------------------------------
 
     def chrome_trace(self) -> Dict[str, object]:
-        """The ``trace_event`` object-format document for chrome://tracing."""
+        """The ``trace_event`` object-format document for chrome://tracing.
+
+        Records adopted from other processes keep their real pid, so a
+        stitched campaign renders one track per worker; pids named in
+        :attr:`process_labels` get ``process_name`` metadata events.
+        """
         trace_events: List[Dict[str, object]] = []
         with self._lock:
             for span in self.spans:
@@ -215,7 +247,7 @@ class Tracer:
                     "ph": "X",
                     "ts": span.ts_us,
                     "dur": span.dur_us,
-                    "pid": self.pid,
+                    "pid": span.pid if span.pid is not None else self.pid,
                     "tid": span.tid,
                     "args": dict(span.args),
                 })
@@ -226,13 +258,19 @@ class Tracer:
                     "ph": "i",
                     "s": "t",
                     "ts": event.ts_us,
-                    "pid": self.pid,
+                    "pid": event.pid if event.pid is not None else self.pid,
                     "tid": event.tid,
                     "args": dict(event.args),
                 })
+            labels = dict(self.process_labels)
         trace_events.sort(key=lambda e: e["ts"])
+        metadata = [
+            {"name": "process_name", "cat": "__metadata", "ph": "M",
+             "ts": 0, "pid": pid, "tid": 0, "args": {"name": label}}
+            for pid, label in sorted(labels.items())
+        ]
         return {
-            "traceEvents": trace_events,
+            "traceEvents": metadata + trace_events,
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.obs"},
         }
@@ -251,12 +289,15 @@ class Tracer:
                     "type": "span", "name": span.name, "ts_us": span.ts_us,
                     "dur_us": span.dur_us, "tid": span.tid,
                     "depth": span.depth, "parent": span.parent,
+                    "pid": span.pid if span.pid is not None else self.pid,
                     "args": dict(span.args),
                 })
             for event in self.events:
                 rows.append({
                     "type": "event", "name": event.name, "ts_us": event.ts_us,
-                    "tid": event.tid, "args": dict(event.args),
+                    "tid": event.tid,
+                    "pid": event.pid if event.pid is not None else self.pid,
+                    "args": dict(event.args),
                 })
         rows.sort(key=lambda r: r["ts_us"])
         with open(str(path), "w", encoding="utf-8") as handle:

@@ -11,7 +11,11 @@ Three sections, mirroring where corpus sweeps actually spend time:
   its own fresh shared cache so the comparison is cold-start fair;
 - **obs** — the observability layer's cost: warm sweep with tracing
   off vs on, plus the dormant null-span fast path measured directly
-  (the <2%-when-disabled budget from ``docs/observability.md``).
+  (the <2%-when-disabled budget from ``docs/observability.md``);
+- **telemetry** — the streaming-telemetry channel's cost on the warm
+  sweep: one journal-aligned ``case_done`` emission per case (metrics
+  delta + flushed JSONL line), per-emit cost measured directly and the
+  <2% budget asserted on the deterministic emits x cost estimate.
 
 Timing is best-of-``repeat`` wall seconds (``time.perf_counter``);
 best-of suppresses scheduler noise without needing a quiet machine.
@@ -45,7 +49,7 @@ from repro.sim.engine import simulate_kernel
 from repro.workloads.suitesparse import MatrixSpec, corpus
 
 #: Report schema version; bump when the JSON layout changes.
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 
 def _time_best(fn: Callable[[], object], repeat: int,
@@ -355,6 +359,98 @@ def bench_obs_overhead(
     }
 
 
+def bench_telemetry_overhead(
+    mats: Sequence[Tuple[str, BBCMatrix]],
+    kernels: Sequence[str],
+    repeat: int,
+) -> Dict[str, object]:
+    """Cost of the streaming-telemetry channel on the warm fast sweep.
+
+    A worker streams one ``progress`` record per finished case
+    (:meth:`~repro.obs.telemetry.TelemetryWriter.case_done`): a
+    metrics **delta** snapshot plus one flushed JSONL line.  Both
+    regimes here run with the obs registry recording (as a telemetry
+    worker does), so the difference is the emission channel alone:
+
+    - ``baseline_seconds`` vs ``streamed_seconds`` — the warm sweep
+      without/with a per-case ``case_done`` emission;
+    - ``per_emit_us`` — one emission's cost measured directly over a
+      few thousand calls against a registry with dirty series;
+    - ``estimated_overhead_pct`` — emissions per sweep x per-emit cost
+      as a percentage of the baseline wall time.  Like the obs
+      section's dormant-span figure, the budget (<2%, asserted by the
+      bench smoke test) is checked against this deterministic estimate
+      rather than the difference of two noisy wall-clock numbers.
+    """
+    import tempfile
+
+    from repro.obs.telemetry import TelemetryWriter
+
+    cases = [
+        (name, bbc, kernel, _operands_for(kernel, bbc, seed=i))
+        for i, (name, bbc) in enumerate(mats)
+        for kernel in kernels
+    ]
+    cache = BlockCache()
+
+    def sweep(writer: Optional[TelemetryWriter] = None) -> None:
+        done = 0
+        for _, bbc, kernel, operands in cases:
+            simulate_kernel(kernel, bbc, create_stc("uni-stc"), cache=cache,
+                            **operands)
+            if writer is not None:
+                done += 1
+                writer.case_done(done)
+
+    was_enabled = obs.enabled()
+    obs.enable(fresh=not was_enabled)
+    registry = obs.metrics()
+    sweep()  # warm the shared cache; both regimes below are warm
+
+    baseline_s = _time_best(sweep, repeat, label="sweep_telemetry_off")
+    with tempfile.TemporaryDirectory() as tmp:
+        writer = TelemetryWriter(
+            Path(tmp) / "bench.telemetry.jsonl", "bench",
+            total=len(cases), registry=registry,
+        )
+        streamed_s = _time_best(
+            lambda: sweep(writer), repeat, label="sweep_telemetry_on")
+
+        # Direct per-emit cost: each call sees a dirty registry (the
+        # tick counter) so it pays the full delta + write + flush path.
+        # The tick itself is baseline registry work, not emission, so
+        # its separately-measured cost is subtracted back out.
+        n_emits = 5_000
+        t0 = time.perf_counter()
+        for i in range(n_emits):
+            registry.inc("bench.telemetry.tick")
+            writer.case_done(i)
+        emit_loop_s = (time.perf_counter() - t0) / n_emits
+        t0 = time.perf_counter()
+        for _ in range(n_emits):
+            registry.inc("bench.telemetry.tick")
+        inc_s = (time.perf_counter() - t0) / n_emits
+        per_emit_s = max(0.0, emit_loop_s - inc_s)
+        writer.finish()
+
+    if not was_enabled:
+        obs.disable()
+
+    estimated_pct = (
+        100.0 * len(cases) * per_emit_s / baseline_s if baseline_s else 0.0
+    )
+    return {
+        "emits_per_sweep": len(cases),
+        "baseline_seconds": baseline_s,
+        "streamed_seconds": streamed_s,
+        "measured_overhead_pct": (
+            100.0 * (streamed_s / baseline_s - 1.0) if baseline_s else 0.0
+        ),
+        "per_emit_us": per_emit_s * 1e6,
+        "estimated_overhead_pct": estimated_pct,
+    }
+
+
 def run_bench(
     out: Optional[Union[str, Path]] = None,
     smoke: bool = False,
@@ -388,6 +484,7 @@ def run_bench(
         "enumeration": bench_enumeration(mats, repeat),
         "corpus_sweep": bench_corpus_sweep(mats, kernels, repeat),
         "obs": bench_obs_overhead(mats, kernels, repeat),
+        "telemetry": bench_telemetry_overhead(mats, kernels, repeat),
     }
     if out is not None:
         Path(str(out)).write_text(json.dumps(report, indent=2) + "\n")
@@ -438,5 +535,12 @@ def render_summary(report: Dict[str, object]) -> str:
             f"{ov['spans_per_sweep']:.0f}/sweep = "
             f"{ov['estimated_disabled_overhead_pct']:.3f}% overhead when off; "
             f"{ov['enabled_overhead_pct']:+.1f}% when tracing"
+        )
+    tel = report.get("telemetry")
+    if tel:
+        lines.append(
+            f"telemetry: {tel['per_emit_us']:.1f}us/emit x "
+            f"{tel['emits_per_sweep']}/sweep = "
+            f"{tel['estimated_overhead_pct']:.3f}% overhead when streaming"
         )
     return "\n".join(lines)

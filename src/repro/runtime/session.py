@@ -135,6 +135,11 @@ class Session:
         from repro.exec import CampaignExecutor, StcDef
 
         res = self.spec.resilience
+        status_path = self.spec.obs.status_path
+        if not status_path and self.spec.manifest_dir:
+            # The run manifest directory gets the final campaign status
+            # alongside the manifest itself (latest campaign wins).
+            status_path = str(Path(self.spec.manifest_dir) / "status.json")
         return CampaignExecutor(
             matrices=dict(matrices),
             stcs=[StcDef.plain(name) for name in stc_names],
@@ -147,6 +152,8 @@ class Session:
             max_retries=res.max_retries,
             cache_path=self.spec.cache.path or None,
             policy=self.spec.exec,
+            telemetry=self.spec.obs.telemetry,
+            status_path=status_path or None,
         )
 
     def fail(self, message: str) -> None:

@@ -16,8 +16,10 @@ from pathlib import Path
 import pytest
 
 from repro import obs
+from repro.cli import main
 from repro.exec import CampaignExecutor, ExecPolicy, StcDef, strip_wallclock
 from repro.exec.worker import CHAOS_ENV
+from repro.obs.telemetry import check_status
 from repro.registry import parse_matrix_spec
 from repro.resilience.runner import ResilientRunner, RetryPolicy
 from repro.sim import engine
@@ -203,6 +205,98 @@ class TestCrashRecovery:
                    for key in kills.series)
         assert metrics.counter("exec.worker_crashes").total >= 1
         assert leaked_workers(journal.name + ".d") == []
+
+
+class TestTelemetry:
+    """The streaming-telemetry contract across the process boundary."""
+
+    #: Counters whose per-label values are simulation-deterministic —
+    #: identical however the campaign was sharded, crashed or resumed.
+    #: (Cache and exec.* counters legitimately differ after a respawn.)
+    DETERMINISTIC = ("sim.t1_tasks", "sim.cycles")
+
+    def deterministic_series(self, registry):
+        return {
+            name: dict(registry.counter(name).series)
+            for name in self.DETERMINISTIC
+        }
+
+    def run_campaign(self, tmp_path, name, workers=2):
+        journal = tmp_path / f"{name}.journal"
+        obs.enable()   # fresh registry per run
+        summary = make_executor(
+            journal, policy=ExecPolicy(workers=workers,
+                                       heartbeat_interval_s=0.2)).run()
+        return journal, summary, obs.metrics()
+
+    def test_status_json_is_written_and_validates(self, tmp_path, metrics):
+        journal, summary, _ = self.run_campaign(tmp_path, "campaign")
+        assert summary.n_ok == len(MATRICES)
+        status_path = tmp_path / "campaign.journal.d" / "status.json"
+        doc = check_status(json.loads(status_path.read_text()))
+        assert doc["state"] == "done"
+        assert doc["done"] == doc["total"] == len(MATRICES)
+        assert sum(s["done"] for s in doc["shards"]) == len(MATRICES)
+        assert all(s["phase"] in ("finished",) for s in doc["shards"])
+
+    def test_crashed_worker_metrics_match_a_clean_run(
+            self, tmp_path, monkeypatch, metrics):
+        """The satellite fix: a SIGKILLed worker's streamed metrics fold
+        in exactly — the deterministic counters come out identical to an
+        uncrashed campaign's, per label set."""
+        _, _, clean = self.run_campaign(tmp_path, "clean", workers=1)
+        clean_series = self.deterministic_series(clean)
+        assert any(clean_series.values())   # the comparison is not vacuous
+
+        marker = tmp_path / "kill.marker"
+        monkeypatch.setenv(CHAOS_ENV, f"kill:m1:{marker}")
+        journal, summary, crashed = self.run_campaign(
+            tmp_path, "crashed", workers=1)
+        assert marker.exists() and summary.n_ok == len(MATRICES)
+        assert crashed.counter("exec.worker_crashes").total >= 1
+        assert self.deterministic_series(crashed) == clean_series
+
+        doc = check_status(json.loads(
+            (tmp_path / "crashed.journal.d" / "status.json").read_text()))
+        assert sum(s["crashes"] for s in doc["shards"]) >= 1
+
+    def test_stitched_trace_has_one_track_per_worker(
+            self, tmp_path, metrics):
+        journal, summary, _ = self.run_campaign(tmp_path, "traced")
+        assert summary.n_ok == len(MATRICES)
+        trace = obs.tracer().chrome_trace()
+        events = trace["traceEvents"]
+        worker_pids = {e["pid"] for e in events
+                       if e["ph"] == "X" and e["pid"] != obs.tracer().pid}
+        assert len(worker_pids) == 2
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "supervisor" in names
+        assert sum(1 for n in names if n.startswith("worker ")) == 2
+        assert any(e["name"] == "exec.dispatch" for e in events)
+
+    def test_repro_top_status_json_one_shot(self, tmp_path, metrics, capsys):
+        journal, summary, _ = self.run_campaign(tmp_path, "campaign")
+        assert summary.n_ok == len(MATRICES)
+        assert main(["top", str(journal), "--status-json"]) == 0
+        doc = check_status(json.loads(capsys.readouterr().out))
+        assert doc["state"] == "done"
+        assert doc["done"] == len(MATRICES)
+
+    def test_repro_top_renders_a_table(self, tmp_path, metrics, capsys):
+        journal, summary, _ = self.run_campaign(tmp_path, "campaign")
+        assert main(["top", str(journal), "--once"]) == 0
+        printed = capsys.readouterr().out
+        assert "campaign" in printed and "shard" in printed
+        assert "s0" in printed and "s1" in printed
+
+    def test_no_telemetry_flag_suppresses_the_stream(self, tmp_path):
+        journal = tmp_path / "campaign.journal"
+        summary = make_executor(
+            journal, policy=ExecPolicy(workers=2), telemetry=False).run()
+        assert summary.n_ok == len(MATRICES)
+        workdir = tmp_path / "campaign.journal.d"
+        assert list(workdir.glob("*.telemetry.jsonl")) == []
+        assert not (workdir / "status.json").exists()
 
 
 class TestDseDistributed:

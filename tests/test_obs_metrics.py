@@ -11,6 +11,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     label_key,
+    tag_gauges,
+    wire_key,
 )
 
 
@@ -172,3 +174,88 @@ class TestMerge:
         worker.histogram("h", bounds=(2.0,)).observe(0.5)
         with pytest.raises(ConfigError):
             main.merge(worker)
+
+
+class TestWireFormat:
+    def test_snapshot_bounds_carry_the_inf_marker(self):
+        """Regression: the overflow bucket must be visible on the wire —
+        len(bounds) == len(counts) and bucket counts sum to count."""
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 10.0)).observe(0.5)
+        reg.histogram("h").observe(500.0)   # lands in the overflow bucket
+        (entry,) = reg.snapshot()["histograms"]["h"]
+        assert entry["bounds"] == [1.0, 10.0, None]
+        assert len(entry["bounds"]) == len(entry["counts"])
+        assert sum(entry["counts"]) == entry["count"] == 2
+
+    def test_merge_accepts_marked_and_legacy_bounds(self):
+        """Snapshots written before the null marker existed still merge."""
+        for bounds in ([1.0, 10.0], [1.0, 10.0, None]):
+            reg = MetricsRegistry()
+            reg.histogram("h", bounds=(1.0, 10.0)).observe(0.5)
+            reg.merge({"histograms": {"h": [{
+                "labels": {}, "bounds": bounds, "counts": [0, 1, 1],
+                "sum": 55.0, "count": 2, "min": 5.0, "max": 50.0}]}})
+            series = reg.histogram("h").get()
+            assert series.counts == [1, 1, 1]
+            assert series.count == 3
+
+    def test_tag_gauges_adds_labels_without_clobbering(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set("g", 1.0)
+        reg.set("g2", 3.0, shard="explicit")
+        tagged = tag_gauges(reg.snapshot(), shard="s0")
+        assert tagged["gauges"]["g"][0]["labels"] == {"shard": "s0"}
+        # A label already on the series wins over the tag.
+        assert tagged["gauges"]["g2"][0]["labels"] == {"shard": "explicit"}
+        assert tagged["counters"] == reg.snapshot()["counters"]
+
+
+class TestSnapshotDelta:
+    def test_only_dirty_series_are_emitted(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 1)
+        reg.inc("b", 1, kernel="spmv")
+        assert reg.snapshot_delta() == {
+            "c": {"a": 1.0, wire_key("b", (("kernel", "spmv"),)): 1.0}}
+        reg.inc("a", 2)   # only "a" is dirty now
+        assert reg.snapshot_delta() == {"c": {"a": 3.0}}
+
+    def test_values_are_cumulative_not_increments(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 1)
+        reg.snapshot_delta()
+        reg.inc("a", 1)
+        assert reg.snapshot_delta()["c"]["a"] == 2.0
+
+    def test_idle_registry_yields_empty_delta(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot_delta() == {}
+        reg.inc("a")
+        reg.snapshot_delta()
+        assert reg.snapshot_delta() == {}
+
+    def test_histogram_packing_is_positional(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0,))
+        reg.observe("h", 0.5)
+        packed = reg.snapshot_delta()["h"]["h"]
+        bounds, counts, total, count, lo, hi = packed
+        assert bounds == [1.0, None] and counts == [1, 0]
+        assert total == 0.5 and count == 1 and lo == hi == 0.5
+
+    def test_gauge_delta_reflects_last_write(self):
+        reg = MetricsRegistry()
+        reg.set("g", 1.0)
+        reg.set("g", 7.0)
+        assert reg.snapshot_delta() == {"g": {"g": 7.0}}
+
+    def test_merge_marks_series_dirty(self):
+        """A supervisor that merges a worker snapshot must stream the
+        merged histograms onward in its own next delta."""
+        reg = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.observe("h", 0.5)
+        reg.merge(worker)
+        assert "h" in reg.snapshot_delta().get("h", {})
