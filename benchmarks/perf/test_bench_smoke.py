@@ -71,6 +71,19 @@ def test_bench_smoke_report_structure(tmp_path):
     # deterministic way (emits x per-emit cost / baseline wall).
     assert tel["estimated_overhead_pct"] < 2.0
 
+    st = data["store"]
+    assert st["cases"] == sweep["cases"]
+    assert st["records"] > 0 and st["store_bytes"] > 0
+    assert st["cold_seconds"] > 0 and st["warm_seconds"] > 0
+    # The warm pass replays with an empty LRU against the store the
+    # cold pass populated: every lookup must hit, every byte must come
+    # from the store, and every report must be digest-identical.
+    assert st["hit_rate"] == 1.0
+    assert st["lookups"] > 0
+    assert st["served_bytes"] > 0
+    assert st["reports_identical"] is True
+    assert st["report_mismatches"] == []
+
 
 def test_bench_cli_smoke(tmp_path, capsys):
     out = tmp_path / "cli_bench.json"

@@ -29,6 +29,7 @@ from repro.cli import (
     inspect_cmds,
     kernels,
     reporting,
+    store_cmds,
     top,
     worker,
 )
@@ -46,6 +47,7 @@ _COMMAND_MODULES = (
     bench,
     dse,
     reporting,     # paper, report
+    store_cmds,    # store stat|verify|gc|import, serve
     top,           # live campaign status viewer
     worker,        # exec-supervisor internal
 )

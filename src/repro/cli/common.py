@@ -85,6 +85,12 @@ def add_resilience_flags(parser: argparse.ArgumentParser,
         "--cache", default="",
         help="block-result cache file; corrupt files warn and rebuild cold",
     )
+    parser.add_argument(
+        "--store", default="", metavar="DIR",
+        help="persistent content-addressed result store directory "
+             "(created on first use, safe to share across workers and "
+             "repeated runs; see docs/store.md)",
+    )
 
 
 def add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -166,7 +172,8 @@ def make_spec(
             telemetry=not getattr(args, "no_telemetry", False),
             status_path=getattr(args, "status_json", ""),
         ),
-        cache=CachePolicy(path=getattr(args, "cache", "")),
+        cache=CachePolicy(path=getattr(args, "cache", ""),
+                          store_dir=getattr(args, "store", "")),
         resilience=ResiliencePolicy(
             timeout_s=getattr(args, "timeout", 0.0),
             max_retries=getattr(args, "max_retries", 1),

@@ -115,6 +115,7 @@ class ShardSpec:
     heartbeat: str = ""                     #: heartbeat file ("" disables)
     metrics: str = ""                       #: obs snapshot path ("" = obs off)
     telemetry: str = ""                     #: streaming telemetry JSONL ("" disables)
+    store: str = ""                         #: shared result-store dir ("" disables)
 
     def __post_init__(self) -> None:
         if not self.shard_id:
@@ -162,6 +163,7 @@ class ShardSpec:
             "heartbeat": self.heartbeat,
             "metrics": self.metrics,
             "telemetry": self.telemetry,
+            "store": self.store,
         }
 
     @classmethod
@@ -191,6 +193,8 @@ class ShardSpec:
                 heartbeat=str(data.get("heartbeat", "")),
                 metrics=str(data.get("metrics", "")),
                 telemetry=str(data.get("telemetry", "")),
+                # Absent in shard specs written before the result store.
+                store=str(data.get("store", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigError(f"malformed shard spec: {exc}") from exc
@@ -255,6 +259,7 @@ class ShardSpec:
             heartbeat=heartbeat,
             metrics=metrics,
             telemetry=telemetry,
+            store=self.store,
         )
 
 

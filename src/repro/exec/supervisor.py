@@ -48,6 +48,7 @@ import subprocess
 import sys
 import tempfile
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -74,7 +75,9 @@ from repro.resilience.runner import (
     journal_header,
     read_journal,
 )
+from repro.sim import engine
 from repro.sim.sweep import SweepCase
+from repro.store import ResultStore
 
 logger = logging.getLogger(__name__)
 
@@ -152,6 +155,11 @@ class CampaignExecutor:
     timeout_s: float = 0.0
     max_retries: int = 1
     cache_path: Optional[Union[str, Path]] = None
+    #: Shared content-addressed result store: every shard binds it as
+    #: its block-cache second tier, and the in-process path binds it
+    #: locally.  Worker ``store.*`` counters fold into the supervisor's
+    #: registry through the telemetry stream like every other metric.
+    store_path: Optional[Union[str, Path]] = None
     policy: ExecPolicy = field(default_factory=ExecPolicy)
     #: Stream per-shard telemetry (metrics deltas, spans, live status).
     #: On by default for distributed runs; the in-process path has
@@ -201,6 +209,22 @@ class CampaignExecutor:
 
     # -- in-process degradation -----------------------------------------
 
+    def _store_binding(self):
+        """(context manager, owned handle) binding ``store_path`` locally.
+
+        When the session (or caller) already bound the same store
+        process-wide this is a no-op pair — a second handle would just
+        open a redundant writer segment.
+        """
+        if self.store_path is None:
+            return nullcontext(), None
+        root = Path(str(self.store_path))
+        bound = engine.bound_store()
+        if bound is not None and Path(bound.root) == root:
+            return nullcontext(), None
+        store = ResultStore(root)
+        return engine.store_tier(store), store
+
     def _run_in_process(
         self,
         cases: List[SweepCase],
@@ -219,7 +243,13 @@ class CampaignExecutor:
             fingerprint=fingerprint,
             max_leaked_threads=self.policy.max_leaked_threads,
         )
-        return runner.run(progress=progress)
+        binding, owned = self._store_binding()
+        try:
+            with binding:
+                return runner.run(progress=progress)
+        finally:
+            if owned is not None:
+                owned.close()
 
     # -- distributed path -----------------------------------------------
 
@@ -295,7 +325,13 @@ class CampaignExecutor:
                         fingerprint=fingerprint,
                         max_leaked_threads=self.policy.max_leaked_threads,
                     )
-                    return runner.run(progress=progress)
+                    binding, owned = self._store_binding()
+                    try:
+                        with binding:
+                            return runner.run(progress=progress)
+                    finally:
+                        if owned is not None:
+                            owned.close()
                 shard_journals = sorted(workdir.glob("*.journal"))
                 merge_journals(journal, shard_journals, fingerprint,
                                order=order, cases=len(order))
@@ -379,6 +415,7 @@ class CampaignExecutor:
                 metrics=metrics,
                 telemetry=(str(telemetry_path(workdir, shard_id))
                            if self.telemetry else ""),
+                store=str(self.store_path) if self.store_path else "",
             ))
         return specs
 

@@ -177,13 +177,24 @@ def run_shard(spec: ShardSpec) -> int:
     resumes from it when the file already exists (a respawn).  The
     shard's ``campaign`` fingerprint binds the journal, so a stale
     journal from a different campaign is rejected rather than
-    silently replayed.  Workers never share a block-cache file —
-    concurrent writers would race — so ``cache_path`` stays unset.
+    silently replayed.  Workers never share a whole-file block-cache
+    snapshot — concurrent ``.npz`` writers would race — so
+    ``cache_path`` stays unset; shared persistence instead rides
+    ``spec.store``, the content-addressed result store whose
+    append-only per-writer segments are safe under the whole fleet
+    (every shard binds the same store as its block-cache second tier).
     """
     if spec.metrics or spec.telemetry:
         # Telemetry streams metrics deltas and spans, so it needs the
         # obs layer recording even when no metrics file was asked for.
         obs.enable()
+    store = None
+    if spec.store:
+        from repro.sim import engine
+        from repro.store import ResultStore
+
+        store = ResultStore(spec.store)
+        engine.bind_store(store)
     sweep = spec.build_sweep()
     chaos = os.environ.get(CHAOS_ENV)
     if chaos:
@@ -261,6 +272,11 @@ def run_shard(spec: ShardSpec) -> int:
             phase = "aborted"
             raise
     finally:
+        if store is not None:
+            from repro.sim import engine
+
+            engine.unbind_store()
+            store.close()
         if heartbeat is not None:
             heartbeat.__exit__(None, None, None)
         if telemetry is not None:

@@ -15,7 +15,12 @@ Three sections, mirroring where corpus sweeps actually spend time:
 - **telemetry** — the streaming-telemetry channel's cost on the warm
   sweep: one journal-aligned ``case_done`` emission per case (metrics
   delta + flushed JSONL line), per-emit cost measured directly and the
-  <2% budget asserted on the deterministic emits x cost estimate.
+  <2% budget asserted on the deterministic emits x cost estimate;
+- **store** — the persistent result store as the block cache's second
+  tier (:mod:`repro.store`): a cold sweep populating a fresh store vs
+  a warm sweep replaying from it with an empty process-local LRU —
+  hit rate, bytes served, and the per-case report-digest identity the
+  replay claims.
 
 Timing is best-of-``repeat`` wall seconds (``time.perf_counter``);
 best-of suppresses scheduler noise without needing a quiet machine.
@@ -49,7 +54,7 @@ from repro.sim.engine import simulate_kernel
 from repro.workloads.suitesparse import MatrixSpec, corpus
 
 #: Report schema version; bump when the JSON layout changes.
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 
 def _time_best(fn: Callable[[], object], repeat: int,
@@ -451,6 +456,87 @@ def bench_telemetry_overhead(
     }
 
 
+def bench_store(
+    mats: Sequence[Tuple[str, BBCMatrix]],
+    kernels: Sequence[str],
+    repeat: int,
+) -> Dict[str, object]:
+    """Cold vs warm-store corpus sweep through a persistent store.
+
+    The regime a repeated campaign actually runs in: the first sweep
+    pays every ``simulate_block`` call and writes each block result
+    through to a fresh :class:`~repro.store.ResultStore`; the second
+    sweep starts with an **empty** process-local :class:`BlockCache`
+    (a new process, as far as the cache is concerned) and must get
+    every block from the store tier instead.  Reported:
+
+    - ``cold_seconds`` vs ``warm_seconds`` and the resulting
+      ``speedup`` — what the store buys a re-run;
+    - ``hit_rate`` / ``served_bytes`` — the warm pass's store traffic
+      (the hit rate must be 1.0 here: the cold pass persisted every
+      pattern, so a miss would be a keying bug);
+    - ``reports_identical`` — per-case :func:`report_digest` identity
+      between the cold and store-served sweeps, the byte-for-byte
+      replay claim ``docs/store.md`` makes.
+    """
+    import tempfile
+
+    from repro.store import ResultStore
+
+    cases = [
+        (name, bbc, kernel, _operands_for(kernel, bbc, seed=i))
+        for i, (name, bbc) in enumerate(mats)
+        for kernel in kernels
+    ]
+
+    def sweep(cache: BlockCache, digests: Dict[str, str]) -> None:
+        for name, bbc, kernel, operands in cases:
+            report = simulate_kernel(
+                kernel, bbc, create_stc("uni-stc"), cache=cache, **operands
+            )
+            digests[f"{kernel}:{name}"] = report_digest(report)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(Path(tmp) / "blockstore") as store:
+            # Cold: single pass (a repetition would no longer be cold —
+            # the store would already hold every pattern).
+            cold_digests: Dict[str, str] = {}
+            cold_cache = BlockCache(store=store)
+            cold_s = _time_best(
+                lambda: sweep(cold_cache, cold_digests), 1,
+                label="store_cold",
+            )
+            store.flush()
+
+            # Warm: every repetition gets a fresh LRU, so every block
+            # is served from the store, not process memory.
+            warm_digests: Dict[str, str] = {}
+            before = store.stats.snapshot()
+            warm_s = _time_best(
+                lambda: sweep(BlockCache(store=store), warm_digests),
+                repeat, label="store_warm",
+            )
+            warm = store.stats.delta(before)
+            reps = max(1, repeat)
+            mismatches = sorted(
+                case for case in cold_digests
+                if warm_digests.get(case) != cold_digests[case]
+            )
+            return {
+                "cases": len(cases),
+                "records": len(store),
+                "store_bytes": store.bytes,
+                "cold_seconds": cold_s,
+                "warm_seconds": warm_s,
+                "speedup": cold_s / warm_s if warm_s else 0.0,
+                "hit_rate": warm.hit_rate,
+                "lookups": warm.lookups,
+                "served_bytes": warm.served_bytes // reps,
+                "reports_identical": not mismatches,
+                "report_mismatches": mismatches,
+            }
+
+
 def run_bench(
     out: Optional[Union[str, Path]] = None,
     smoke: bool = False,
@@ -485,6 +571,7 @@ def run_bench(
         "corpus_sweep": bench_corpus_sweep(mats, kernels, repeat),
         "obs": bench_obs_overhead(mats, kernels, repeat),
         "telemetry": bench_telemetry_overhead(mats, kernels, repeat),
+        "store": bench_store(mats, kernels, repeat),
     }
     if out is not None:
         Path(str(out)).write_text(json.dumps(report, indent=2) + "\n")
@@ -543,4 +630,16 @@ def render_summary(report: Dict[str, object]) -> str:
             f"{tel['emits_per_sweep']}/sweep = "
             f"{tel['estimated_overhead_pct']:.3f}% overhead when streaming"
         )
+    st = report.get("store")
+    if st:
+        lines.append(
+            f"store: {st['records']} records / {st['store_bytes']} bytes; "
+            f"cold {st['cold_seconds']:.3f}s -> warm {st['warm_seconds']:.3f}s "
+            f"({st['speedup']:.1f}x), hit rate {st['hit_rate']:.1%}, "
+            f"{st['served_bytes']} bytes served, reports_identical="
+            f"{st['reports_identical']}"
+        )
+        if st.get("report_mismatches"):
+            shown = ", ".join(st["report_mismatches"][:5])
+            lines.append(f"  REPORT MISMATCH in: {shown}")
     return "\n".join(lines)

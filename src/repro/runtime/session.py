@@ -40,8 +40,9 @@ from repro.formats.coo import COOMatrix
 from repro.registry import parse_matrix_spec, stc_factory
 from repro.resilience.runner import ResilientRunner
 from repro.runtime.spec import RunSpec
-from repro.sim.engine import cache_stats
+from repro.sim.engine import bind_store, bound_store, cache_stats
 from repro.sim.sweep import Sweep
+from repro.store import ResultStore
 
 #: Manifest schema version; bumped on incompatible layout changes.
 MANIFEST_SCHEMA = 1
@@ -73,6 +74,8 @@ class Session:
     _obs_was_enabled: bool = field(default=False, repr=False)
     _cache_before: Optional[object] = field(default=None, repr=False)
     _error: Optional[str] = field(default=None, repr=False)
+    _store: Optional[object] = field(default=None, repr=False)
+    _store_previous: Optional[object] = field(default=None, repr=False)
 
     # -- composition helpers --------------------------------------------
 
@@ -151,6 +154,7 @@ class Session:
             timeout_s=res.timeout_s,
             max_retries=res.max_retries,
             cache_path=self.spec.cache.path or None,
+            store_path=self.spec.cache.store_dir or None,
             policy=self.spec.exec,
             telemetry=self.spec.obs.telemetry,
             status_path=status_path or None,
@@ -167,6 +171,13 @@ class Session:
         self._obs_was_enabled = obs.enabled()
         if self.spec.obs.wanted and not self._obs_was_enabled:
             obs.enable()
+        if self.spec.cache.store_dir:
+            # Bind the persistent result store as the block cache's
+            # second tier for the whole run; restored (and the handle
+            # closed) on exit.
+            self._store = ResultStore(self.spec.cache.store_dir)
+            self._store_previous = bound_store()
+            bind_store(self._store)
         self._cache_before = cache_stats().snapshot()
         return self
 
@@ -185,8 +196,15 @@ class Session:
         if policy.metrics_path:
             metrics_path = Path(policy.metrics_path)
             obs.metrics().write_json(metrics_path)
+        if self._store is not None:
+            self._store.flush()
         manifest = self._manifest(wall_s)
         path = self._write_manifest(manifest)
+        if self._store is not None:
+            bind_store(self._store_previous)
+            self._store.close()
+            self._store = None
+            self._store_previous = None
         self.artifact = RunArtifact(
             manifest=manifest, path=path,
             trace_path=trace_path, metrics_path=metrics_path,
@@ -220,8 +238,16 @@ class Session:
                 "checkpoint": spec.resilience.checkpoint,
                 "resume": spec.resilience.resume,
                 "cache_path": spec.cache.path,
+                "store_dir": spec.cache.store_dir,
             },
         }
+        if self._store is not None:
+            manifest["store"] = {
+                "root": str(self._store.root),
+                "records": len(self._store),
+                "bytes": self._store.bytes,
+                "stats": self._store.stats.as_dict(),
+            }
         if self._error:
             manifest["error"] = self._error
         if obs.enabled():

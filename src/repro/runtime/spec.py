@@ -58,13 +58,22 @@ class ObsPolicy:
 
 @dataclass(frozen=True)
 class CachePolicy:
-    """Block-result cache persistence for one run."""
+    """Block-result cache persistence for one run.
+
+    ``path`` is the legacy whole-file ``.npz`` snapshot (loaded before
+    and saved after the run); ``store_dir`` is the persistent
+    content-addressed :class:`repro.store.ResultStore` the session
+    binds as the block cache's second tier for the run's duration.
+    Both may be set — the snapshot then warms the LRU while the store
+    serves and absorbs everything else.
+    """
 
     path: str = ""
+    store_dir: str = ""
 
     @property
     def enabled(self) -> bool:
-        return bool(self.path)
+        return bool(self.path or self.store_dir)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,15 @@ a bounded LRU with observable hit/miss/eviction counters:
 One instance is shared by every core of ``simulate_parallel`` and —
 via :mod:`repro.sim.cachestore` — persists between sweep cases and
 across processes.
+
+A :class:`BlockCache` may also be backed by a **second tier**: any
+object with ``lookup(key) -> Optional[BlockResult]`` and
+``insert(key, result)`` (duck-typed so this module needn't import it;
+in practice a :class:`repro.store.ResultStore`).  Misses consult the
+tier and promote its hits into the LRU; inserts write through.  Tier
+hits count as ``hits`` (the caller was served without simulating) and
+additionally as ``store_hits``, so the split is observable without
+changing the meaning of ``hit_rate``.
 """
 
 from __future__ import annotations
@@ -46,6 +55,11 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    #: Lookups served by the persistent second tier (a subset of
+    #: ``hits``) and lookups that missed both tiers while a tier was
+    #: bound (a subset of ``misses``).
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,9 +72,16 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    @property
+    def store_hit_rate(self) -> float:
+        """store_hits / store lookups — how warm the second tier is."""
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
     def reset(self) -> None:
         """Zero every counter."""
         self.hits = self.misses = self.evictions = self.inserts = 0
+        self.store_hits = self.store_misses = 0
 
     def snapshot(self) -> "CacheStats":
         """An independent copy of the current counters.
@@ -73,6 +94,7 @@ class CacheStats:
         return CacheStats(
             hits=self.hits, misses=self.misses,
             evictions=self.evictions, inserts=self.inserts,
+            store_hits=self.store_hits, store_misses=self.store_misses,
         )
 
     def delta(self, since: "CacheStats") -> "CacheStats":
@@ -82,17 +104,29 @@ class CacheStats:
             misses=self.misses - since.misses,
             evictions=self.evictions - since.evictions,
             inserts=self.inserts - since.inserts,
+            store_hits=self.store_hits - since.store_hits,
+            store_misses=self.store_misses - since.store_misses,
         )
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict snapshot (for JSON reports)."""
-        return {
+        """Plain-dict snapshot (for JSON reports).
+
+        The ``store_*`` keys appear only once a second tier has
+        actually been consulted — reports from tier-less runs keep
+        their historical shape.
+        """
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "inserts": self.inserts,
             "hit_rate": self.hit_rate,
         }
+        if self.store_hits or self.store_misses:
+            out["store_hits"] = self.store_hits
+            out["store_misses"] = self.store_misses
+            out["store_hit_rate"] = self.store_hit_rate
+        return out
 
 
 @dataclass
@@ -105,6 +139,10 @@ class BlockCache:
 
     capacity: Optional[int] = DEFAULT_CAPACITY
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional persistent second tier (duck-typed ``lookup``/``insert``,
+    #: e.g. :class:`repro.store.ResultStore`).  Bind/unbind through
+    #: :func:`repro.sim.engine.store_tier` in application code.
+    store: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity <= 0:
@@ -114,20 +152,41 @@ class BlockCache:
     # -- engine API (stats-aware) ----------------------------------------
 
     def lookup(self, key: CacheKey) -> Optional[BlockResult]:
-        """Fetch a memoised result, refreshing its recency; None on miss."""
+        """Fetch a memoised result, refreshing its recency; None on miss.
+
+        On an LRU miss with a second tier bound, the tier is consulted
+        and its hit promoted into the LRU (stats-neutrally, so the
+        promotion isn't double-counted as an insert).
+        """
         result = self._data.get(key)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.stats.hits += 1
-        return result
+        if result is not None:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return result
+        if self.store is not None:
+            stored = self.store.lookup(key)
+            if stored is not None:
+                self._data[key] = stored
+                self._evict()
+                self.stats.store_hits += 1
+                self.stats.hits += 1
+                return stored
+            self.stats.store_misses += 1
+        self.stats.misses += 1
+        return None
 
     def insert(self, key: CacheKey, result: BlockResult) -> None:
-        """Store a result as most-recent, evicting LRU entries if full."""
+        """Store a result as most-recent, evicting LRU entries if full.
+
+        Writes through to the second tier when one is bound (the tier
+        deduplicates internally, so re-inserts after eviction are
+        cheap no-ops on disk).
+        """
         self._data[key] = result
         self._data.move_to_end(key)
         self.stats.inserts += 1
+        if self.store is not None:
+            self.store.insert(key, result)
         self._evict()
 
     def _evict(self) -> None:

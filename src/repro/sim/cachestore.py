@@ -12,6 +12,17 @@ write, flipped bits, wrong file entirely) raises :class:`FormatError`
 on load rather than a raw ``zipfile``/``numpy`` traceback.  Long-
 running sweeps that merely want a warm start should instead call
 :func:`load_cache_or_cold`, which logs a warning and rebuilds cold.
+
+**Deprecation shim.**  The whole-file ``.npz`` snapshot is superseded
+by the persistent content-addressed :class:`repro.store.ResultStore`
+(safe under concurrent writers, incrementally appended, GC'd).  To
+keep one persistence story, both entry points here are store-aware: a
+``path`` that is a store directory routes to the store —
+:func:`load_cache_or_cold` binds it as the engine cache's second tier
+instead of bulk-loading, and :func:`save_cache` flushes it (the store
+is write-through, so there is nothing else to save).  Old ``.npz``
+files keep loading, and :func:`migrate_cache` imports one into a
+store.  New code should use ``repro.store`` directly.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ import pickle
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +41,8 @@ from repro.arch.counters import ACTIONS, Counters
 from repro.arch.tasks import UtilHistogram
 from repro.errors import FormatError
 from repro.sim import engine
+from repro.sim.blockcache import CacheKey
+from repro.store import MANIFEST_NAME, ResultStore
 
 #: Serialisation format version; mismatches are rejected on load.
 #: v2 added the embedded payload checksum.
@@ -51,8 +64,28 @@ def _payload_checksum(namespaces, a_bits, b_bits, scalars, bins, counters) -> in
     return crc & 0xFFFFFFFF
 
 
+def is_store_path(path: Union[str, Path]) -> bool:
+    """Whether ``path`` designates a :class:`repro.store.ResultStore`.
+
+    True for an existing directory or any path whose ``STORE.json``
+    manifest exists; plain files (and paths yet to be created) are
+    treated as legacy ``.npz`` snapshots.
+    """
+    path = Path(str(path))
+    return path.is_dir() or (path / MANIFEST_NAME).exists()
+
+
 def save_cache(path: Union[str, Path]) -> int:
-    """Persist the engine's current block cache; returns entries written."""
+    """Persist the engine's current block cache; returns entries written.
+
+    When ``path`` is a result-store directory this flushes the bound
+    store (appends are write-through, so they are already on disk) and
+    additionally imports any engine-cache entries the store doesn't
+    hold yet — e.g. results loaded from a legacy snapshot earlier in
+    the process.
+    """
+    if is_store_path(path):
+        return _save_to_store(Path(str(path)))
     entries = list(engine.get_cache().items())
     keys = []
     scalars = np.zeros((len(entries), 2), dtype=np.int64)
@@ -83,17 +116,8 @@ def save_cache(path: Union[str, Path]) -> int:
     return len(entries)
 
 
-def load_cache(path: Union[str, Path], merge: bool = True) -> int:
-    """Load a persisted cache into the engine; returns entries loaded.
-
-    ``merge=False`` clears the in-memory cache first.  Entries whose
-    action vocabulary no longer matches the running build are rejected
-    (the energy table would silently misprice them otherwise).  Any
-    malformed archive — truncated, bit-flipped, not a zip, missing
-    fields — raises :class:`FormatError`; the in-memory cache is left
-    untouched in that case.
-    """
-    path = Path(str(path))
+def _read_entries(path: Path) -> List[Tuple[CacheKey, BlockResult]]:
+    """Parse and integrity-check one legacy ``.npz`` snapshot."""
     try:
         with np.load(path, allow_pickle=True) as data:
             if int(data["version"][0]) != CACHE_VERSION:
@@ -125,26 +149,99 @@ def load_cache(path: Union[str, Path], merge: bool = True) -> int:
     except (zipfile.BadZipFile, zlib.error, pickle.UnpicklingError, KeyError,
             ValueError, IndexError, EOFError, OSError) as exc:
         raise FormatError(f"corrupt or unreadable cache file {path}: {exc}") from exc
-    if not merge:
-        engine.clear_cache()
-    cache = engine.get_cache()
-    count = 0
+    entries: List[Tuple[CacheKey, BlockResult]] = []
     for i in range(n):
         key = (str(namespaces[i]), bytes(a_bits[i]), bytes(b_bits[i]))
         hist = UtilHistogram(bins=bins[i].copy())
         counters = Counters()
         for j, action in enumerate(ACTIONS):
             counters.add(action, float(counter_matrix[i, j]))
-        # Stats-neutral mapping insert: loading a warm cache is not a
-        # simulation hit, and the LRU bound still applies.
-        cache[key] = BlockResult(
+        entries.append((key, BlockResult(
             cycles=int(scalars[i, 0]),
             products=int(scalars[i, 1]),
             util_hist=hist,
             counters=counters,
-        )
-        count += 1
-    return count
+        )))
+    return entries
+
+
+def load_cache(path: Union[str, Path], merge: bool = True) -> int:
+    """Load a persisted cache into the engine; returns entries loaded.
+
+    ``merge=False`` clears the in-memory cache first.  Entries whose
+    action vocabulary no longer matches the running build are rejected
+    (the energy table would silently misprice them otherwise).  Any
+    malformed archive — truncated, bit-flipped, not a zip, missing
+    fields — raises :class:`FormatError`; the in-memory cache is left
+    untouched in that case.
+    """
+    entries = _read_entries(Path(str(path)))
+    if not merge:
+        engine.clear_cache()
+    cache = engine.get_cache()
+    for key, result in entries:
+        # Stats-neutral mapping insert: loading a warm cache is not a
+        # simulation hit, and the LRU bound still applies.
+        cache[key] = result
+    return len(entries)
+
+
+def migrate_cache(path: Union[str, Path],
+                  store_root: Union[str, Path]) -> int:
+    """Import a legacy ``.npz`` snapshot into a result store.
+
+    Returns the number of records actually appended (entries whose
+    digest the store already holds are skipped).  The snapshot is
+    validated exactly as :func:`load_cache` would; the engine's
+    in-memory cache is untouched.
+    """
+    entries = _read_entries(Path(str(path)))
+    bound = engine.bound_store()
+    root = Path(str(store_root))
+    if bound is not None and Path(bound.root) == root:
+        store, owned = bound, False
+    else:
+        store, owned = ResultStore(root), True
+    try:
+        appended = sum(1 for key, result in entries
+                       if store.insert(key, result))
+        store.flush()
+    finally:
+        if owned:
+            store.close()
+    logger.info("migrated %d of %d entr(ies) from %s into store %s",
+                appended, len(entries), path, store_root)
+    return appended
+
+
+def _save_to_store(root: Path) -> int:
+    """Store-directory branch of :func:`save_cache`."""
+    bound = engine.bound_store()
+    if bound is not None and Path(bound.root) == root:
+        store, owned = bound, False
+    else:
+        store, owned = ResultStore(root), True
+    try:
+        for key, result in engine.get_cache().items():
+            store.insert(key, result)
+        store.flush()
+        return len(store)
+    finally:
+        if owned:
+            store.close()
+
+
+def _bind_store(root: Path) -> int:
+    """Store-directory branch of :func:`load_cache_or_cold`."""
+    bound = engine.bound_store()
+    if bound is not None and Path(bound.root) == root:
+        bound.refresh()
+        return len(bound)
+    store = ResultStore(root)
+    engine.bind_store(store)
+    logger.info("bound result store %s (%d record(s)) as the block-cache "
+                "second tier", root, len(store))
+    return len(store)
 
 
 def load_cache_or_cold(path: Union[str, Path], merge: bool = True) -> int:
@@ -153,8 +250,16 @@ def load_cache_or_cold(path: Union[str, Path], merge: bool = True) -> int:
     A missing file returns 0 silently (first run); a corrupt or
     incompatible file logs a warning and returns 0 — the sweep then
     rebuilds the cache from scratch instead of dying on startup.
+
+    A ``path`` that is a result-store directory is not bulk-loaded:
+    the store is opened and bound as the engine cache's second tier
+    (results stream in on demand), and the count of stored records is
+    returned.  The binding persists for the process; callers that need
+    scoped binding should use :func:`repro.sim.engine.store_tier`.
     """
     path = Path(str(path))
+    if is_store_path(path):
+        return _bind_store(path)
     if not path.exists():
         return 0
     try:

@@ -24,6 +24,7 @@ path at a fraction of the Python overhead.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterable, Optional
 
@@ -60,6 +61,45 @@ def set_cache_capacity(capacity: Optional[int]) -> None:
 def clear_cache() -> None:
     """Drop all memoised per-block results and reset the statistics."""
     _BLOCK_CACHE.clear()
+
+
+def bind_store(store) -> None:
+    """Attach a persistent second tier to the process-wide cache.
+
+    ``store`` is duck-typed (``lookup``/``insert``), in practice a
+    :class:`repro.store.ResultStore`.  LRU misses then consult the
+    store and inserts write through; see
+    :class:`~repro.sim.blockcache.BlockCache`.
+    """
+    _BLOCK_CACHE.store = store
+
+
+def bound_store():
+    """The currently bound second tier, or ``None``."""
+    return _BLOCK_CACHE.store
+
+
+def unbind_store():
+    """Detach and return the second tier (``None`` if none was bound)."""
+    store = _BLOCK_CACHE.store
+    _BLOCK_CACHE.store = None
+    return store
+
+
+@contextmanager
+def store_tier(store):
+    """Temporarily bind ``store`` as the process cache's second tier.
+
+    Restores whatever was bound before on exit, so nested scopes (a
+    Session-wide store around a service request's store) compose.  The
+    caller keeps ownership of the store handle — this never closes it.
+    """
+    previous = _BLOCK_CACHE.store
+    _BLOCK_CACHE.store = store
+    try:
+        yield store
+    finally:
+        _BLOCK_CACHE.store = previous
 
 
 def cache_size() -> int:

@@ -1,0 +1,644 @@
+"""Persistent content-addressed store for per-block simulation results.
+
+The process-local :class:`~repro.sim.blockcache.BlockCache` memoises
+``simulate_block`` for one process lifetime; every new campaign, DSE
+strategy and worker fleet re-pays the same cold simulation work.  The
+:class:`ResultStore` makes those results durable and shareable: a
+directory of append-only **segment** files plus an in-memory index,
+keyed by the sha256 of ``(STC namespace, A bits, B bits)``.
+
+Design points, in the order they matter:
+
+**Content addressing.**  The key digest covers the model's canonical
+configuration fingerprint (:meth:`~repro.arch.base.STCModel.cache_key`)
+and the exact operand bitmaps.  Block results are pure functions of
+that triple — the kernel only shapes *which* blocks a sweep visits,
+never what an individual block costs — so any two processes that agree
+on the digest may share the record.  ``tests/test_store.py`` pins the
+fingerprint→key stability contract across processes and config knobs.
+
+**Multi-writer safety without locks.**  Each writing process appends
+to its *own* segment file (named after its pid plus a random suffix),
+so concurrent workers never interleave writes.  Readers scan every
+segment and deduplicate by digest; racing writers that simulate the
+same block simply produce duplicate records with identical payloads,
+which :meth:`gc` later compacts away.
+
+**Crash semantics** mirror the journal-hardening contract of
+:mod:`repro.resilience.runner`: a *torn final record* (short read at
+end of file — the classic power-cut artefact of an append-only log) is
+tolerated and, on the owning writer's next open, truncated away; a
+complete record that fails its magic or CRC check is *interior
+corruption* and quarantines the whole segment (renamed to
+``*.quarantined``, records dropped from the index, structured warning
++ ``store.segments_quarantined`` metric).  :meth:`verify` re-reads
+everything and raises :class:`~repro.errors.DataCorruptionError` in
+strict mode.
+
+**GC/compaction.**  :meth:`gc` rewrites the live records (newest
+first, deduplicated) into one compact segment under a byte budget and
+deletes the old segments.  It is an offline operation for the store
+owner — run it between campaigns, not while workers are appending.
+
+On-disk layout::
+
+    <root>/STORE.json          # {"kind", "schema", "actions": [...]}
+    <root>/segments/*.seg      # append-only record logs, one per writer
+    <root>/segments/*.seg.quarantined   # corrupt segments, kept for autopsy
+
+Record framing (little-endian)::
+
+    magic  digest  payload_len  crc32(payload)  payload
+    4B     32B     u32          u32             payload_len bytes
+
+and the payload packs the namespace/bitmap key (length-prefixed) plus
+cycles, products, the four utilisation bins and one float64 per
+:data:`~repro.arch.counters.ACTIONS` entry, in vocabulary order.  The
+vocabulary itself is recorded in ``STORE.json`` so a vocabulary change
+is a loud :class:`~repro.errors.FormatError`, never a silent
+misinterpretation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import struct
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.arch.base import BlockResult
+from repro.arch.counters import ACTIONS, Counters
+from repro.arch.tasks import UtilHistogram
+from repro.errors import DataCorruptionError, FormatError
+
+logger = logging.getLogger(__name__)
+
+#: On-disk schema version; bumped on any incompatible format change.
+STORE_SCHEMA = 1
+
+#: Manifest file name inside the store root.
+MANIFEST_NAME = "STORE.json"
+
+#: Record framing magic ("Repro Block Record, format 1").
+_MAGIC = b"RBR1"
+
+#: magic + sha256 digest + payload length + payload CRC32.
+_PREFIX = struct.Struct("<4s32sII")
+
+#: Fixed numeric tail of a payload: cycles, products, 4 util bins (i64)
+#: then one f64 per action in vocabulary order.
+_NUMERIC = struct.Struct(f"<6q{len(ACTIONS)}d")
+
+#: Sanity bound on payload size — far above any real record (a record
+#: is ~300 bytes); a "length" beyond this is corruption, not a payload.
+_MAX_PAYLOAD = 1 << 20
+
+#: Store key type — mirrors :data:`repro.sim.blockcache.CacheKey`.
+StoreKey = Tuple[str, bytes, bytes]
+
+
+def key_digest(key: StoreKey) -> bytes:
+    """The 32-byte content address of a cache key.
+
+    sha256 over ``namespace \\x1f a_bits \\x1f b_bits`` where the
+    namespace is the model's canonical config fingerprint
+    (:meth:`~repro.arch.base.STCModel.cache_key`).  Stable across
+    processes and platforms by construction.
+    """
+    namespace, a_bits, b_bits = key
+    h = hashlib.sha256()
+    h.update(namespace.encode("utf-8"))
+    h.update(b"\x1f")
+    h.update(a_bits)
+    h.update(b"\x1f")
+    h.update(b_bits)
+    return h.digest()
+
+
+def _encode_payload(key: StoreKey, result: BlockResult) -> bytes:
+    namespace, a_bits, b_bits = key
+    ns = namespace.encode("utf-8")
+    parts = [struct.pack("<H", len(ns)), ns,
+             struct.pack("<H", len(a_bits)), a_bits,
+             struct.pack("<H", len(b_bits)), b_bits]
+    bins = [int(b) for b in result.util_hist.bins]
+    counters = [float(result.counters.get(a)) for a in ACTIONS]
+    parts.append(_NUMERIC.pack(int(result.cycles), int(result.products),
+                               *bins, *counters))
+    return b"".join(parts)
+
+
+def _decode_payload(payload: bytes) -> Tuple[StoreKey, BlockResult]:
+    view = memoryview(payload)
+    offset = 0
+    fields = []
+    for _ in range(3):
+        if offset + 2 > len(view):
+            raise DataCorruptionError("store payload truncated inside key")
+        (length,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        if offset + length > len(view):
+            raise DataCorruptionError("store payload key overruns record")
+        fields.append(bytes(view[offset:offset + length]))
+        offset += length
+    if len(view) - offset != _NUMERIC.size:
+        raise DataCorruptionError(
+            f"store payload numeric block is {len(view) - offset} bytes, "
+            f"expected {_NUMERIC.size} (ACTIONS vocabulary mismatch?)")
+    numbers = _NUMERIC.unpack_from(view, offset)
+    key: StoreKey = (fields[0].decode("utf-8"), fields[1], fields[2])
+    hist = UtilHistogram(bins=np.array(numbers[2:6], dtype=np.int64))
+    counters = Counters({a: numbers[6 + i] for i, a in enumerate(ACTIONS)
+                         if numbers[6 + i]})
+    result = BlockResult(cycles=int(numbers[0]), products=int(numbers[1]),
+                         util_hist=hist, counters=counters)
+    return key, result
+
+
+def encode_record(key: StoreKey, result: BlockResult) -> bytes:
+    """One framed record: prefix + CRC-checked payload."""
+    payload = _encode_payload(key, result)
+    prefix = _PREFIX.pack(_MAGIC, key_digest(key), len(payload),
+                          zlib.crc32(payload) & 0xFFFFFFFF)
+    return prefix + payload
+
+
+@dataclass
+class StoreStats:
+    """Observable counters of one :class:`ResultStore` handle.
+
+    ``hits``/``misses``/``appends``/``served_bytes`` count this
+    handle's traffic; ``quarantined`` counts segments this handle has
+    quarantined (across opens and :meth:`ResultStore.refresh` calls).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    appends: int = 0
+    duplicates: int = 0
+    served_bytes: int = 0
+    quarantined: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(hits=self.hits, misses=self.misses,
+                          appends=self.appends, duplicates=self.duplicates,
+                          served_bytes=self.served_bytes,
+                          quarantined=self.quarantined)
+
+    def delta(self, since: "StoreStats") -> "StoreStats":
+        return StoreStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            appends=self.appends - since.appends,
+            duplicates=self.duplicates - since.duplicates,
+            served_bytes=self.served_bytes - since.served_bytes,
+            quarantined=self.quarantined - since.quarantined,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "appends": self.appends,
+            "duplicates": self.duplicates,
+            "served_bytes": self.served_bytes,
+            "quarantined": self.quarantined,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    """Index entry: where a record's payload lives on disk."""
+
+    segment: Path
+    offset: int          # offset of the *payload* within the segment
+    length: int          # payload length
+    crc: int
+
+
+@dataclass
+class GCReport:
+    """Outcome of one :meth:`ResultStore.gc` compaction."""
+
+    kept: int
+    dropped: int
+    bytes_before: int
+    bytes_after: int
+    segments_removed: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "segments_removed": self.segments_removed,
+        }
+
+
+class ResultStore:
+    """A persistent, multi-process-safe block-result store.
+
+    Parameters
+    ----------
+    root:
+        Store directory.  Created (with its manifest) when missing and
+        ``create=True``; otherwise the manifest is validated against
+        this build's schema and ACTIONS vocabulary.
+    create:
+        Whether a missing store may be initialised.  ``repro store``
+        inspection commands pass ``False`` so a typo'd path is a loud
+        error instead of a fresh empty store.
+    repair:
+        The opener asserts no other process is writing the store, so a
+        torn final record on *any* segment is truncated away at scan
+        time instead of merely tolerated.  Maintenance entry points
+        (``repro store verify|gc``) open with ``repair=True``; live
+        campaign readers must not, because a foreign writer's torn
+        tail may simply be an append in progress.
+    """
+
+    def __init__(self, root: Union[str, Path], create: bool = True,
+                 repair: bool = False):
+        self.root = Path(root)
+        self.repair = repair
+        self.stats = StoreStats()
+        self._index: Dict[bytes, _Entry] = {}
+        self._scanned: Dict[Path, int] = {}      # segment -> clean end offset
+        self._writer: Optional[object] = None    # lazily opened file handle
+        self._writer_path: Optional[Path] = None
+        self._readers: Dict[Path, object] = {}
+        self._load_manifest(create)
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        self.refresh()
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def segment_dir(self) -> Path:
+        return self.root / "segments"
+
+    def _load_manifest(self, create: bool) -> None:
+        path = self.manifest_path
+        if not path.exists():
+            if not create:
+                raise FormatError(f"no result store at {self.root} "
+                                  f"({MANIFEST_NAME} missing)")
+            self.root.mkdir(parents=True, exist_ok=True)
+            manifest = {"kind": "repro.store", "schema": STORE_SCHEMA,
+                        "actions": list(ACTIONS)}
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(manifest, indent=2) + "\n",
+                           encoding="utf-8")
+            os.replace(tmp, path)
+            return
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FormatError(f"unreadable store manifest {path}: {exc}") \
+                from exc
+        if manifest.get("kind") != "repro.store":
+            raise FormatError(f"{path} is not a repro.store manifest")
+        if manifest.get("schema") != STORE_SCHEMA:
+            raise FormatError(
+                f"store schema {manifest.get('schema')!r} unsupported "
+                f"(this build reads schema {STORE_SCHEMA})")
+        if list(manifest.get("actions", [])) != list(ACTIONS):
+            raise FormatError(
+                "store ACTIONS vocabulary differs from this build; refusing "
+                "to reinterpret counters positionally")
+
+    def close(self) -> None:
+        """Flush and release every file handle (safe to call twice)."""
+        if self._writer is not None:
+            try:
+                self._writer.flush()
+                os.fsync(self._writer.fileno())
+            except OSError:  # pragma: no cover - flush-on-close best effort
+                pass
+            self._writer.close()
+            self._writer = None
+        for handle in self._readers.values():
+            handle.close()
+        self._readers.clear()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:
+        return (f"ResultStore(root={str(self.root)!r}, "
+                f"records={len(self._index)}, "
+                f"segments={len(self._scanned)})")
+
+    # -- scanning ---------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Scan for records appended by other writers; returns new count.
+
+        Known segments resume from their last clean offset, newly
+        discovered segments are scanned from the start.  Quarantine and
+        torn-tail handling run exactly as at open time.
+        """
+        new = 0
+        for seg in sorted(self.segment_dir.glob("*.seg")):
+            if seg == self._writer_path:
+                continue  # our own appends are indexed as they happen
+            new += self._scan_segment(seg, self._scanned.get(seg, 0))
+        self._publish_gauges()
+        return new
+
+    def _scan_segment(self, seg: Path, start: int) -> int:
+        """Index records in ``seg`` from ``start``; returns records added."""
+        try:
+            data = seg.read_bytes()
+        except FileNotFoundError:
+            return 0  # raced with gc/quarantine in another process
+        offset, added = start, 0
+        own = seg == self._writer_path
+        while True:
+            if offset + _PREFIX.size > len(data):
+                break  # torn or absent prefix at EOF -> tail
+            magic, digest, length, crc = _PREFIX.unpack_from(data, offset)
+            if magic != _MAGIC or length > _MAX_PAYLOAD:
+                self._quarantine(seg, offset, "bad record framing")
+                return added
+            payload_at = offset + _PREFIX.size
+            if payload_at + length > len(data):
+                break  # torn payload at EOF -> tail
+            payload = data[payload_at:payload_at + length]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                self._quarantine(seg, offset, "payload CRC mismatch")
+                return added
+            if digest not in self._index:
+                self._index[digest] = _Entry(seg, payload_at, length, crc)
+                added += 1
+            offset = payload_at + length
+        self._scanned[seg] = offset
+        torn = len(data) - offset
+        if torn and (own or self.repair):
+            # Either our own segment (no concurrent writer by
+            # construction: names embed pid + random suffix) or a
+            # repair-mode open where the caller asserts sole ownership
+            # -- drop the torn tail so the segment ends clean.
+            logger.warning("store: truncating %d torn byte(s) from %s",
+                           torn, seg.name)
+            with open(seg, "r+b") as fh:
+                fh.truncate(offset)
+        elif torn:
+            # A foreign writer may simply be mid-append; tolerate.
+            logger.debug("store: %s has %d trailing byte(s), "
+                         "possibly an in-progress append", seg.name, torn)
+        return added
+
+    def _quarantine(self, seg: Path, offset: int, reason: str) -> None:
+        """Interior corruption: sideline the segment, drop its records."""
+        dropped = [d for d, e in self._index.items() if e.segment == seg]
+        for digest in dropped:
+            del self._index[digest]
+        self._scanned.pop(seg, None)
+        handle = self._readers.pop(seg, None)
+        if handle is not None:
+            handle.close()
+        target = seg.with_name(seg.name + ".quarantined")
+        n = 0
+        while target.exists():
+            n += 1
+            target = seg.with_name(f"{seg.name}.quarantined.{n}")
+        try:
+            os.replace(seg, target)
+        except OSError:  # pragma: no cover - raced with another scanner
+            target = seg
+        self.stats.quarantined += 1
+        obs.inc("store.segments_quarantined")
+        logger.error(
+            "store: quarantined segment %s at offset %d (%s); "
+            "%d record(s) dropped from the index, file kept as %s",
+            seg.name, offset, reason, len(dropped), target.name)
+
+    # -- lookups and appends ----------------------------------------------
+
+    def lookup(self, key: StoreKey) -> Optional[BlockResult]:
+        """Fetch a stored result by cache key; ``None`` on miss."""
+        entry = self._index.get(key_digest(key))
+        if entry is None:
+            self.stats.misses += 1
+            obs.inc("store.misses")
+            return None
+        payload = self._read_payload(entry)
+        if payload is None:
+            self.stats.misses += 1
+            obs.inc("store.misses")
+            return None
+        _, result = _decode_payload(payload)
+        self.stats.hits += 1
+        self.stats.served_bytes += entry.length
+        obs.inc("store.hits")
+        return result
+
+    def _read_payload(self, entry: _Entry) -> Optional[bytes]:
+        handle = self._readers.get(entry.segment)
+        if handle is None:
+            try:
+                handle = open(entry.segment, "rb")
+            except FileNotFoundError:
+                return None  # segment gc'd/quarantined under us
+            self._readers[entry.segment] = handle
+        handle.seek(entry.offset)
+        payload = handle.read(entry.length)
+        if len(payload) != entry.length:
+            return None
+        if zlib.crc32(payload) & 0xFFFFFFFF != entry.crc:
+            raise DataCorruptionError(
+                f"store record in {entry.segment.name} failed its CRC on "
+                "re-read (disk-level corruption after indexing)")
+        return payload
+
+    def insert(self, key: StoreKey, result: BlockResult) -> bool:
+        """Append a record unless its digest is already indexed.
+
+        Returns True when a record was written.  The write is a single
+        ``write()`` call on an append-mode handle, so concurrent
+        writers to *different* segments never interleave and a crash
+        leaves at worst one torn record at the tail.
+        """
+        digest = key_digest(key)
+        if digest in self._index:
+            self.stats.duplicates += 1
+            return False
+        record = encode_record(key, result)
+        writer = self._open_writer()
+        offset = writer.tell()
+        writer.write(record)
+        writer.flush()
+        self._index[digest] = _Entry(
+            self._writer_path, offset + _PREFIX.size,
+            len(record) - _PREFIX.size, zlib.crc32(record[_PREFIX.size:]))
+        self._scanned[self._writer_path] = offset + len(record)
+        self.stats.appends += 1
+        obs.inc("store.appends")
+        return True
+
+    def _open_writer(self):
+        if self._writer is None:
+            name = f"w{os.getpid():d}-{uuid.uuid4().hex[:8]}.seg"
+            self._writer_path = self.segment_dir / name
+            self._writer = open(self._writer_path, "ab")
+            self._scanned[self._writer_path] = 0
+        return self._writer
+
+    def flush(self) -> None:
+        """Push buffered appends to the OS (fsync included)."""
+        if self._writer is not None:
+            self._writer.flush()
+            os.fsync(self._writer.fileno())
+
+    # -- maintenance ------------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        """Total on-disk size of live (non-quarantined) segments."""
+        total = 0
+        for seg in self.segment_dir.glob("*.seg"):
+            try:
+                total += seg.stat().st_size
+            except FileNotFoundError:  # pragma: no cover
+                continue
+        return total
+
+    @property
+    def segments(self) -> int:
+        """Number of live segment files."""
+        return sum(1 for _ in self.segment_dir.glob("*.seg"))
+
+    def _publish_gauges(self) -> None:
+        if obs.enabled():
+            obs.set_gauge("store.records", float(len(self._index)))
+            obs.set_gauge("store.bytes", float(self.bytes))
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-ready description (``repro store stat``)."""
+        return {
+            "kind": "repro.store",
+            "schema": STORE_SCHEMA,
+            "root": str(self.root),
+            "records": len(self._index),
+            "segments": self.segments,
+            "bytes": self.bytes,
+            "quarantined_segments": sum(
+                1 for _ in self.segment_dir.glob("*.quarantined*")),
+            "stats": self.stats.as_dict(),
+        }
+
+    def verify(self, strict: bool = False) -> Dict[str, object]:
+        """Re-read every indexed record, checking framing and CRCs.
+
+        Returns ``{"records", "bytes", "errors": [...]}``.  With
+        ``strict=True`` the first failure raises
+        :class:`~repro.errors.DataCorruptionError` instead.
+        """
+        errors: List[str] = []
+        checked = checked_bytes = 0
+        for digest, entry in sorted(self._index.items()):
+            try:
+                payload = self._read_payload(entry)
+                if payload is None:
+                    raise DataCorruptionError(
+                        f"record in {entry.segment.name} vanished")
+                key, _ = _decode_payload(payload)
+                if key_digest(key) != digest:
+                    raise DataCorruptionError(
+                        f"record in {entry.segment.name} decodes to a "
+                        "different key than its digest")
+            except DataCorruptionError as exc:
+                if strict:
+                    raise
+                errors.append(str(exc))
+                continue
+            checked += 1
+            checked_bytes += entry.length
+        return {"records": checked, "bytes": checked_bytes, "errors": errors}
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCReport:
+        """Compact live records into one segment under a byte budget.
+
+        Records are kept newest-append-first (an LRU-flavoured policy:
+        segment scan order is append order, so the records most likely
+        to be re-requested — the latest corpus's — survive).  With
+        ``max_bytes=None`` everything is kept and gc is pure
+        deduplication/compaction.  Offline only: run it when no other
+        process is writing the store.
+        """
+        self.flush()
+        bytes_before = self.bytes
+        old_segments = sorted(self.segment_dir.glob("*.seg"))
+        # Newest entries last in scan order; walk reversed so the most
+        # recently appended survive the budget.
+        records: List[bytes] = []
+        kept = dropped = budget_used = 0
+        for digest, entry in reversed(list(self._index.items())):
+            payload = self._read_payload(entry)
+            if payload is None:
+                dropped += 1
+                continue
+            framed = _PREFIX.pack(_MAGIC, digest, len(payload), entry.crc) \
+                + payload
+            if max_bytes is not None and budget_used + len(framed) > max_bytes:
+                dropped += 1
+                continue
+            records.append(framed)
+            budget_used += len(framed)
+            kept += 1
+        self.close()
+        compact = self.segment_dir / f"c{os.getpid():d}-{uuid.uuid4().hex[:8]}.seg"
+        with open(compact, "wb") as fh:
+            for framed in reversed(records):  # restore append order
+                fh.write(framed)
+            fh.flush()
+            os.fsync(fh.fileno())
+        for seg in old_segments:
+            if seg != compact:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._index.clear()
+        self._scanned.clear()
+        self._writer_path = None
+        self._scan_segment(compact, 0)
+        self._publish_gauges()
+        report = GCReport(kept=kept, dropped=dropped,
+                          bytes_before=bytes_before, bytes_after=self.bytes,
+                          segments_removed=len(old_segments))
+        logger.info("store gc: kept %d, dropped %d, %d -> %d bytes",
+                    report.kept, report.dropped,
+                    report.bytes_before, report.bytes_after)
+        return report

@@ -47,6 +47,11 @@ LAYERS = {
     "baselines": 3,
     "registry": 4,
     "energy": 5,
+    # The persistent result store is infrastructure below the engine:
+    # sim binds it as the block cache's second tier, exec/runtime open
+    # it per shard/session.  Its service half serves simulations, so
+    # those upward imports are function-scoped (lazy) by design.
+    "store": 5,
     "sim": 6,
     "analysis": 7,
     "apps": 7,
