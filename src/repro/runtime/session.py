@@ -187,24 +187,29 @@ class Session:
         if exc is not None and self._error is None:
             self._error = f"{type(exc).__name__}: {exc}"
         trace_path = metrics_path = None
-        if policy.trace_path:
-            trace_path = Path(policy.trace_path)
-            if policy.trace_path.endswith(".jsonl"):
-                obs.tracer().write_jsonl(trace_path)
-            else:
-                obs.tracer().write_chrome_trace(trace_path)
-        if policy.metrics_path:
-            metrics_path = Path(policy.metrics_path)
-            obs.metrics().write_json(metrics_path)
-        if self._store is not None:
-            self._store.flush()
-        manifest = self._manifest(wall_s)
-        path = self._write_manifest(manifest)
-        if self._store is not None:
-            bind_store(self._store_previous)
-            self._store.close()
-            self._store = None
-            self._store_previous = None
+        try:
+            if policy.trace_path:
+                trace_path = Path(policy.trace_path)
+                if policy.trace_path.endswith(".jsonl"):
+                    obs.tracer().write_jsonl(trace_path)
+                else:
+                    obs.tracer().write_chrome_trace(trace_path)
+            if policy.metrics_path:
+                metrics_path = Path(policy.metrics_path)
+                obs.metrics().write_json(metrics_path)
+            if self._store is not None:
+                self._store.flush()
+            manifest = self._manifest(wall_s)
+            path = self._write_manifest(manifest)
+        finally:
+            # Even when artifact writing raises, the store binding and
+            # handle must not outlive the session: a leaked binding
+            # would silently redirect every later run in this process.
+            if self._store is not None:
+                bind_store(self._store_previous)
+                self._store.close()
+                self._store = None
+                self._store_previous = None
         self.artifact = RunArtifact(
             manifest=manifest, path=path,
             trace_path=trace_path, metrics_path=metrics_path,

@@ -67,12 +67,20 @@ def _payload_checksum(namespaces, a_bits, b_bits, scalars, bins, counters) -> in
 def is_store_path(path: Union[str, Path]) -> bool:
     """Whether ``path`` designates a :class:`repro.store.ResultStore`.
 
-    True for an existing directory or any path whose ``STORE.json``
-    manifest exists; plain files (and paths yet to be created) are
-    treated as legacy ``.npz`` snapshots.
+    True only for a path whose ``STORE.json`` manifest exists, or an
+    *empty* existing directory (one a store may be initialised in).  A
+    non-empty directory without a manifest — a typo'd ``--cache`` path,
+    an output directory — is *not* routed to the store: silently
+    initialising a fresh store there would bury the mistake.  Plain
+    files (and paths yet to be created) are treated as legacy ``.npz``
+    snapshots.
     """
     path = Path(str(path))
-    return path.is_dir() or (path / MANIFEST_NAME).exists()
+    if (path / MANIFEST_NAME).exists():
+        return True
+    if not path.is_dir():
+        return False
+    return next(iter(path.iterdir()), None) is None
 
 
 def save_cache(path: Union[str, Path]) -> int:
@@ -82,7 +90,8 @@ def save_cache(path: Union[str, Path]) -> int:
     store (appends are write-through, so they are already on disk) and
     additionally imports any engine-cache entries the store doesn't
     hold yet — e.g. results loaded from a legacy snapshot earlier in
-    the process.
+    the process; the return value counts only those newly appended
+    records, mirroring the ``.npz`` branch's entries-written contract.
     """
     if is_store_path(path):
         return _save_to_store(Path(str(path)))
@@ -222,10 +231,10 @@ def _save_to_store(root: Path) -> int:
     else:
         store, owned = ResultStore(root), True
     try:
-        for key, result in engine.get_cache().items():
-            store.insert(key, result)
+        written = sum(1 for key, result in engine.get_cache().items()
+                      if store.insert(key, result))
         store.flush()
-        return len(store)
+        return written
     finally:
         if owned:
             store.close()

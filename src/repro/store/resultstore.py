@@ -17,12 +17,16 @@ never what an individual block costs — so any two processes that agree
 on the digest may share the record.  ``tests/test_store.py`` pins the
 fingerprint→key stability contract across processes and config knobs.
 
-**Multi-writer safety without locks.**  Each writing process appends
-to its *own* segment file (named after its pid plus a random suffix),
-so concurrent workers never interleave writes.  Readers scan every
-segment and deduplicate by digest; racing writers that simulate the
-same block simply produce duplicate records with identical payloads,
-which :meth:`gc` later compacts away.
+**Multi-writer safety without file locks.**  Each writing process
+appends to its *own* segment file (named after its pid plus a random
+suffix), so concurrent workers never interleave writes.  Readers scan
+every segment and deduplicate by digest; racing writers that simulate
+the same block simply produce duplicate records with identical
+payloads, which :meth:`gc` later compacts away.  *Within* a process a
+single handle may also be shared by several threads (the ``repro
+serve`` front-end does): an internal re-entrant lock serialises every
+index mutation and file-handle seek/read/write, so one handle is
+thread-safe too.
 
 **Crash semantics** mirror the journal-hardening contract of
 :mod:`repro.resilience.runner`: a *torn final record* (short read at
@@ -66,6 +70,7 @@ import json
 import logging
 import os
 import struct
+import threading
 import uuid
 import zlib
 from dataclasses import dataclass, field
@@ -282,6 +287,11 @@ class ResultStore:
         self.root = Path(root)
         self.repair = repair
         self.stats = StoreStats()
+        # One handle may serve several threads (ThreadingHTTPServer in
+        # repro serve): the lock serialises index mutation and the
+        # shared reader/writer handles' seek/read/write pairs.
+        # Re-entrant because gc()/verify()/lookup() nest _read_payload.
+        self._lock = threading.RLock()
         self._index: Dict[bytes, _Entry] = {}
         self._scanned: Dict[Path, int] = {}      # segment -> clean end offset
         self._writer: Optional[object] = None    # lazily opened file handle
@@ -333,17 +343,18 @@ class ResultStore:
 
     def close(self) -> None:
         """Flush and release every file handle (safe to call twice)."""
-        if self._writer is not None:
-            try:
-                self._writer.flush()
-                os.fsync(self._writer.fileno())
-            except OSError:  # pragma: no cover - flush-on-close best effort
-                pass
-            self._writer.close()
-            self._writer = None
-        for handle in self._readers.values():
-            handle.close()
-        self._readers.clear()
+        with self._lock:
+            if self._writer is not None:
+                try:
+                    self._writer.flush()
+                    os.fsync(self._writer.fileno())
+                except OSError:  # pragma: no cover - best-effort flush
+                    pass
+                self._writer.close()
+                self._writer = None
+            for handle in self._readers.values():
+                handle.close()
+            self._readers.clear()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -368,13 +379,14 @@ class ResultStore:
         discovered segments are scanned from the start.  Quarantine and
         torn-tail handling run exactly as at open time.
         """
-        new = 0
-        for seg in sorted(self.segment_dir.glob("*.seg")):
-            if seg == self._writer_path:
-                continue  # our own appends are indexed as they happen
-            new += self._scan_segment(seg, self._scanned.get(seg, 0))
-        self._publish_gauges()
-        return new
+        with self._lock:
+            new = 0
+            for seg in sorted(self.segment_dir.glob("*.seg")):
+                if seg == self._writer_path:
+                    continue  # our own appends are indexed as they happen
+                new += self._scan_segment(seg, self._scanned.get(seg, 0))
+            self._publish_gauges()
+            return new
 
     def _scan_segment(self, seg: Path, start: int) -> int:
         """Index records in ``seg`` from ``start``; returns records added."""
@@ -382,7 +394,13 @@ class ResultStore:
             data = seg.read_bytes()
         except FileNotFoundError:
             return 0  # raced with gc/quarantine in another process
-        offset, added = start, 0
+        # A known segment may have *shrunk* since the last scan (a
+        # foreign gc/quarantine recreated it); resuming past EOF would
+        # make the torn-tail arithmetic negative and a repair-mode
+        # truncate would zero-extend the file.  Clamp and resume at
+        # the (new) end; stale index entries fail their short-read
+        # check in _read_payload and degrade to misses.
+        offset, added = min(start, len(data)), 0
         own = seg == self._writer_path
         while True:
             if offset + _PREFIX.size > len(data):
@@ -404,7 +422,7 @@ class ResultStore:
             offset = payload_at + length
         self._scanned[seg] = offset
         torn = len(data) - offset
-        if torn and (own or self.repair):
+        if torn > 0 and (own or self.repair):
             # Either our own segment (no concurrent writer by
             # construction: names embed pid + random suffix) or a
             # repair-mode open where the caller asserts sole ownership
@@ -413,7 +431,7 @@ class ResultStore:
                            torn, seg.name)
             with open(seg, "r+b") as fh:
                 fh.truncate(offset)
-        elif torn:
+        elif torn > 0:
             # A foreign writer may simply be mid-append; tolerate.
             logger.debug("store: %s has %d trailing byte(s), "
                          "possibly an in-progress append", seg.name, torn)
@@ -448,32 +466,34 @@ class ResultStore:
 
     def lookup(self, key: StoreKey) -> Optional[BlockResult]:
         """Fetch a stored result by cache key; ``None`` on miss."""
-        entry = self._index.get(key_digest(key))
-        if entry is None:
-            self.stats.misses += 1
-            obs.inc("store.misses")
-            return None
-        payload = self._read_payload(entry)
-        if payload is None:
-            self.stats.misses += 1
-            obs.inc("store.misses")
-            return None
-        _, result = _decode_payload(payload)
-        self.stats.hits += 1
-        self.stats.served_bytes += entry.length
-        obs.inc("store.hits")
-        return result
+        with self._lock:
+            entry = self._index.get(key_digest(key))
+            if entry is None:
+                self.stats.misses += 1
+                obs.inc("store.misses")
+                return None
+            payload = self._read_payload(entry)
+            if payload is None:
+                self.stats.misses += 1
+                obs.inc("store.misses")
+                return None
+            _, result = _decode_payload(payload)
+            self.stats.hits += 1
+            self.stats.served_bytes += entry.length
+            obs.inc("store.hits")
+            return result
 
     def _read_payload(self, entry: _Entry) -> Optional[bytes]:
-        handle = self._readers.get(entry.segment)
-        if handle is None:
-            try:
-                handle = open(entry.segment, "rb")
-            except FileNotFoundError:
-                return None  # segment gc'd/quarantined under us
-            self._readers[entry.segment] = handle
-        handle.seek(entry.offset)
-        payload = handle.read(entry.length)
+        with self._lock:
+            handle = self._readers.get(entry.segment)
+            if handle is None:
+                try:
+                    handle = open(entry.segment, "rb")
+                except FileNotFoundError:
+                    return None  # segment gc'd/quarantined under us
+                self._readers[entry.segment] = handle
+            handle.seek(entry.offset)
+            payload = handle.read(entry.length)
         if len(payload) != entry.length:
             return None
         if zlib.crc32(payload) & 0xFFFFFFFF != entry.crc:
@@ -491,19 +511,20 @@ class ResultStore:
         leaves at worst one torn record at the tail.
         """
         digest = key_digest(key)
-        if digest in self._index:
-            self.stats.duplicates += 1
-            return False
         record = encode_record(key, result)
-        writer = self._open_writer()
-        offset = writer.tell()
-        writer.write(record)
-        writer.flush()
-        self._index[digest] = _Entry(
-            self._writer_path, offset + _PREFIX.size,
-            len(record) - _PREFIX.size, zlib.crc32(record[_PREFIX.size:]))
-        self._scanned[self._writer_path] = offset + len(record)
-        self.stats.appends += 1
+        with self._lock:
+            if digest in self._index:
+                self.stats.duplicates += 1
+                return False
+            writer = self._open_writer()
+            offset = writer.tell()
+            writer.write(record)
+            writer.flush()
+            self._index[digest] = _Entry(
+                self._writer_path, offset + _PREFIX.size,
+                len(record) - _PREFIX.size, zlib.crc32(record[_PREFIX.size:]))
+            self._scanned[self._writer_path] = offset + len(record)
+            self.stats.appends += 1
         obs.inc("store.appends")
         return True
 
@@ -517,9 +538,10 @@ class ResultStore:
 
     def flush(self) -> None:
         """Push buffered appends to the OS (fsync included)."""
-        if self._writer is not None:
-            self._writer.flush()
-            os.fsync(self._writer.fileno())
+        with self._lock:
+            if self._writer is not None:
+                self._writer.flush()
+                os.fsync(self._writer.fileno())
 
     # -- maintenance ------------------------------------------------------
 
@@ -567,7 +589,9 @@ class ResultStore:
         """
         errors: List[str] = []
         checked = checked_bytes = 0
-        for digest, entry in sorted(self._index.items()):
+        with self._lock:
+            entries = sorted(self._index.items())
+        for digest, entry in entries:
             try:
                 payload = self._read_payload(entry)
                 if payload is None:
@@ -597,6 +621,10 @@ class ResultStore:
         deduplication/compaction.  Offline only: run it when no other
         process is writing the store.
         """
+        with self._lock:
+            return self._gc_locked(max_bytes)
+
+    def _gc_locked(self, max_bytes: Optional[int]) -> GCReport:
         self.flush()
         bytes_before = self.bytes
         old_segments = sorted(self.segment_dir.glob("*.seg"))

@@ -86,7 +86,19 @@ class SimulationService:
     def __init__(self, store_root: Union[str, Path],
                  host: str = "127.0.0.1", port: int = 8732,
                  max_requests: int = 0):
+        # Upward import, function-scoped by design (see module doc).
+        from repro.sim import engine
+
         self.store = ResultStore(store_root)
+        # Bind the store as the engine's second tier exactly once, for
+        # the service's whole lifetime.  A per-request store_tier()
+        # would race under ThreadingHTTPServer: overlapping requests
+        # capture different "previous" bindings, so the first to exit
+        # unbinds the tier mid-sweep for the others and the last to
+        # exit can leave a stale binding behind.
+        self._engine = engine
+        self._store_previous = engine.bound_store()
+        engine.bind_store(self.store)
         self.max_requests = max_requests
         self.executions = 0          # distinct sweeps actually simulated
         self.requests_handled = 0
@@ -183,6 +195,11 @@ class SimulationService:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        # Restore whatever tier was bound before the service took
+        # over — unless something rebound the cache since, in which
+        # case that newer binding wins.
+        if self._engine.bound_store() is self.store:
+            self._engine.bind_store(self._store_previous)
         self.store.close()
 
     def __enter__(self) -> "SimulationService":
@@ -255,7 +272,6 @@ class SimulationService:
         # Upward imports are function-scoped by design (see module doc).
         from repro.registry import parse_matrix_spec
         from repro.resilience.runner import _report_to_json
-        from repro.sim import engine
         from repro.sim.sweep import Sweep
 
         with self._mutex:
@@ -271,8 +287,9 @@ class SimulationService:
                 except Exception as exc:
                     raise FormatError(f"bad run request: {exc}") from exc
                 store_before = self.store.stats.snapshot()
-                with engine.store_tier(self.store):
-                    results = sweep.run()
+                # The store is bound process-wide in __init__; binding
+                # per request would race across handler threads.
+                results = sweep.run()
                 self.store.flush()
                 self.executions += 1
                 cases: List[Dict[str, object]] = []

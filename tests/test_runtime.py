@@ -120,6 +120,25 @@ class TestSession:
         assert not obs.enabled()
         assert trace.exists()
 
+    def test_store_unbound_even_when_artifact_writing_fails(self, tmp_path,
+                                                            monkeypatch):
+        from repro.sim import engine
+
+        engine.unbind_store()
+        spec = self._spec(
+            tmp_path, cache=CachePolicy(store_dir=str(tmp_path / "store")))
+
+        def boom(self, manifest):
+            raise RuntimeError("manifest writing exploded")
+
+        monkeypatch.setattr(Session, "_write_manifest", boom)
+        with pytest.raises(RuntimeError, match="manifest writing"):
+            with Session(spec):
+                assert engine.bound_store() is not None
+        # The binding and handle must not outlive the session even
+        # when the artifact-writing half of __exit__ raises.
+        assert engine.bound_store() is None
+
     def test_metrics_snapshot_in_manifest_when_obs_on(self, tmp_path):
         from repro.formats.bbc import BBCMatrix
         from repro.registry import create_stc

@@ -201,6 +201,36 @@ class TestCrashSemantics:
             assert len(store) == 3
             assert store.stats.quarantined == 0
 
+    def test_shrunk_segment_rescans_without_zero_extension(self, root):
+        # A foreign gc/quarantine may *shrink* a segment a reader has
+        # already scanned.  The resume offset must clamp to the new
+        # EOF: a repair-mode truncate at the stale offset would
+        # zero-extend the file, manufacturing framing garbage that the
+        # next scan quarantines.
+        with ResultStore(root) as writer:
+            for i in range(1, 5):
+                writer.insert(_key(i), _result(i))
+            writer.flush()
+            (seg,) = _segments(writer)
+            full = seg.stat().st_size
+
+            reader = ResultStore(root, repair=True)
+            assert len(reader) == 4
+            shrunk = full // 2
+            seg.write_bytes(seg.read_bytes()[:shrunk])
+            assert reader.refresh() == 0
+            # No zero-extension past the new EOF, and no quarantine.
+            assert seg.stat().st_size <= shrunk
+            assert reader.stats.quarantined == 0
+            # Stale beyond-EOF index entries degrade to misses, and
+            # the segment is rescanned once it grows again.
+            assert reader.lookup(_key(4)) is None
+            writer.insert(_key(9), _result(9))
+            writer.flush()
+            assert reader.refresh() >= 1
+            assert reader.lookup(_key(9)).cycles == 9
+            reader.close()
+
     def test_interior_corruption_quarantines_segment(self, root):
         with ResultStore(root) as store:
             for i in range(1, 4):
@@ -286,6 +316,28 @@ class TestCrashSemantics:
             # ...and nothing either writer appended was lost.
             assert len(store) == 1 + 2 * 40
             assert store.verify()["errors"] == []
+
+
+class TestThreadSafety:
+    def test_one_handle_shared_across_threads(self, root):
+        # ThreadingHTTPServer hands one store handle to many handler
+        # threads; interleaved insert (shared writer offset) and
+        # lookup (shared reader seek/read) must stay coherent.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ResultStore(root) as store:
+            def work(i):
+                for j in range(40):
+                    key = _key(j % 251, ns=f"t{i}")
+                    assert store.insert(key, _result(j % 100)) is True
+                    got = store.lookup(key)
+                    assert got is not None and got.cycles == j % 100
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(work, range(8)))
+            assert len(store) == 8 * 40
+            report = store.verify(strict=True)
+            assert report["records"] == 8 * 40 and report["errors"] == []
 
 
 class TestGC:
@@ -440,6 +492,16 @@ class TestCachestoreShim:
         npz = tmp_path / "cache.npz"
         npz.write_bytes(b"")
         assert cachestore.is_store_path(npz) is False
+        # An empty directory may become a store; a non-empty directory
+        # without a manifest (a typo'd path, an output dir) must not be
+        # silently initialised as one.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cachestore.is_store_path(empty) is True
+        outputs = tmp_path / "outputs"
+        outputs.mkdir()
+        (outputs / "report.json").write_text("{}")
+        assert cachestore.is_store_path(outputs) is False
 
     def test_save_cache_routes_to_store(self, root):
         # An existing store directory routes the save; a path yet to
@@ -451,6 +513,9 @@ class TestCachestoreShim:
         assert written == engine.cache_size()
         with ResultStore(root) as store:
             assert len(store) == written
+        # Re-saving writes nothing new: the return value counts
+        # appended records, not the store's total.
+        assert cachestore.save_cache(root) == 0
 
     def test_load_cache_or_cold_binds_store(self, root):
         ResultStore(root).close()

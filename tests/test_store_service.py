@@ -55,10 +55,12 @@ def _post(service, path, body):
 @pytest.fixture()
 def service(tmp_path):
     engine.clear_cache()
+    engine.unbind_store()
     obs.enable(fresh=True)
     svc = SimulationService(tmp_path / "store", port=0).start()
     yield svc
     svc.close()
+    engine.unbind_store()
     obs.disable()
     engine.clear_cache()
 
@@ -107,6 +109,37 @@ class TestRun:
                   for _, body in results]
         assert all(body == bodies[0] for body in bodies)
         assert sum(1 for _, b in results if not b["memoised"]) == 1
+
+    def test_concurrent_distinct_requests(self, service):
+        # Distinct fingerprints bypass single-flight entirely, so the
+        # handler threads race on the one shared ResultStore handle
+        # (insert offsets, reader seek/read) — this must not corrupt
+        # the store or 500.
+        specs = [f"band:{n}:8:0.4" for n in (48, 56, 64, 72, 80, 96)]
+        bodies = [dict(RUN_BODY, matrices=[spec]) for spec in specs]
+        with ThreadPoolExecutor(max_workers=len(bodies)) as pool:
+            results = list(pool.map(
+                lambda body: _post(service, "/v1/run", body), bodies))
+        assert all(status == 200 for status, _ in results)
+        assert service.executions == len(bodies)
+        for (_, body), spec in zip(results, specs):
+            assert body["memoised"] is False
+            assert [case["matrix"] for case in body["cases"]] == [spec]
+        # Every record written under contention reads back clean.
+        assert len(service.store) > 0
+        assert service.store.verify()["errors"] == []
+        # The store stays bound as the engine's second tier throughout
+        # (per-request binding used to race and unbind it mid-sweep).
+        assert engine.bound_store() is service.store
+
+    def test_store_binding_scoped_to_service_lifetime(self, tmp_path):
+        engine.unbind_store()
+        svc = SimulationService(tmp_path / "store", port=0).start()
+        try:
+            assert engine.bound_store() is svc.store
+        finally:
+            svc.close()
+        assert engine.bound_store() is None
 
     def test_second_execution_hits_the_store(self, service):
         _post(service, "/v1/run", RUN_BODY)
