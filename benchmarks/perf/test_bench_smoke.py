@@ -84,6 +84,19 @@ def test_bench_smoke_report_structure(tmp_path):
     assert st["reports_identical"] is True
     assert st["report_mismatches"] == []
 
+    inf = data["infer"]
+    assert inf["nodes"] > 0 and inf["batch"] == 8
+    assert inf["sequential_seconds"] > 0 and inf["batched_seconds"] > 0
+    # One batch-8 device must produce exactly the work of 8 sequential
+    # one-request devices (same operands via request_offset), with the
+    # shared block cache amortising repeated tiles across requests.
+    assert inf["totals_match"] is True
+    assert inf["batched_hit_rate"] > inf["sequential_hit_rate"]
+    assert inf["e2e_latency"] > 0 and inf["e2e_energy_pj"] > 0
+    assert inf["dram_traffic_bytes"] > 0
+    assert inf["store"]["hit_rate"] == 1.0
+    assert inf["store"]["replay_seconds"] > 0
+
 
 def test_bench_cli_smoke(tmp_path, capsys):
     out = tmp_path / "cli_bench.json"

@@ -6,6 +6,13 @@ activation), and sparse convolution is treated as SpGEMM (sparse
 im2col weight x sparse activation — ReLU'd feature maps are sparse,
 which the paper notes makes Uni-STC enable *more* DPGs on ResNet-50
 and fewer on the denser Transformer).
+
+The forward pass is built as a :class:`~repro.graph.ir.ModelGraph` and
+scheduled by :class:`~repro.graph.runner.GraphRunner` — request 0 of
+the graph path reproduces the historic per-layer loop bit for bit
+(``simulate_inference_legacy`` keeps the loop alive as the parity
+reference), and ``batch``/``buffer_kib`` expose the end-to-end story
+the loop could never tell.
 """
 
 from __future__ import annotations
@@ -18,15 +25,22 @@ import numpy as np
 from repro.arch.base import STCModel
 from repro.errors import ShapeError
 from repro.formats.bbc import BBCMatrix
-from repro.formats.csr import CSRMatrix
+from repro.graph import DEFAULT_BUFFER_KIB, GraphRunner, ModelReport, dnn_graph
 from repro.kernels import bbc_kernels
 from repro.sim.engine import simulate_kernel
 from repro.sim.results import SimReport
 from repro.workloads.dlmc import dlmc_corpus
-from repro.workloads.dnn import LayerSpec
+from repro.workloads.dnn import ACTIVATION_SPARSITY, LayerSpec, activation_matrix
 
-#: Typical post-ReLU activation sparsity for the conv-as-SpGEMM path.
-ACTIVATION_SPARSITY = 0.5
+__all__ = [
+    "ACTIVATION_SPARSITY",
+    "InferenceReport",
+    "LayerReport",
+    "compare_models",
+    "forward_layer",
+    "simulate_inference",
+    "simulate_inference_legacy",
+]
 
 
 @dataclass
@@ -45,22 +59,20 @@ class InferenceReport:
     stc: str
     sparsity: float
     layers: List[LayerReport] = field(default_factory=list)
+    #: End-to-end view (buffer plan, DRAM traffic, batching) when the
+    #: inference ran through the graph path; ``None`` on the legacy loop.
+    model_report: Optional[ModelReport] = None
 
     @property
     def total_cycles(self) -> int:
-        return sum(l.report.cycles for l in self.layers)
+        # Accumulate in the integer domain: per-layer cycles are exact
+        # int64 action-vector sums, and a Python-int accumulator keeps
+        # corpus-scale totals exact past any fixed width.
+        return sum(int(l.report.cycles) for l in self.layers)
 
     @property
     def total_energy_pj(self) -> float:
         return sum(l.report.energy_pj for l in self.layers)
-
-
-def _activation_matrix(k: int, n: int, seed: int) -> CSRMatrix:
-    """A ReLU'd (half-sparse) activation matrix for the SpGEMM path."""
-    rng = np.random.default_rng(seed)
-    dense = rng.standard_normal((k, n))
-    dense[dense < 0] = 0.0  # ReLU: ~50% sparsity
-    return CSRMatrix.from_dense(dense)
 
 
 def simulate_inference(
@@ -69,11 +81,42 @@ def simulate_inference(
     sparsity: float = 0.70,
     scale: Optional[float] = None,
     seed: int = 11,
+    batch: int = 1,
+    buffer_kib: int = DEFAULT_BUFFER_KIB,
 ) -> InferenceReport:
-    """Simulate one model's forward pass on one STC.
+    """Simulate a model's forward pass on one STC via the graph runner.
 
     Linear layers run SpMM with the layer's activation width; conv
-    layers run SpGEMM against a ReLU-sparse activation matrix.
+    layers run SpGEMM against a ReLU-sparse activation matrix.  With
+    ``batch > 1`` the graph replays for every request through the same
+    warm block cache (fresh conv activations per request); the
+    per-layer reports exposed on the result are request 0's, identical
+    to :func:`simulate_inference_legacy`.
+    """
+    graph = dnn_graph(model, sparsity, scale=scale, seed=seed)
+    runner = GraphRunner(graph, stc, batch=batch,
+                         buffer_bytes=buffer_kib * 1024)
+    model_report = runner.run()
+    out = InferenceReport(model=model, stc=stc.name, sparsity=sparsity,
+                          model_report=model_report)
+    for node_result in model_report.per_layer(request=0):
+        layer = graph.node(node_result.node).meta["layer"]
+        out.layers.append(LayerReport(layer=layer, report=node_result.report))
+    return out
+
+
+def simulate_inference_legacy(
+    stc: STCModel,
+    model: str = "resnet50",
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+    seed: int = 11,
+) -> InferenceReport:
+    """The historic hand-rolled per-layer loop.
+
+    Kept as the parity reference the graph path is tested against:
+    request 0 of :func:`simulate_inference` must produce byte-identical
+    per-layer reports to this loop.
     """
     out = InferenceReport(model=model, stc=stc.name, sparsity=sparsity)
     for i, (layer, weight) in enumerate(dlmc_corpus(model, sparsity, scale=scale, seed=seed)):
@@ -81,7 +124,7 @@ def simulate_inference(
         if layer.kind == "linear":
             report = simulate_kernel("spmm", bbc, stc, b_cols=layer.n, matrix=layer.name)
         else:
-            acts = _activation_matrix(layer.k, layer.n, seed=seed + 100 + i)
+            acts = activation_matrix(layer.k, layer.n, seed=seed + 100 + i)
             report = simulate_kernel(
                 "spgemm", bbc, stc, b=BBCMatrix.from_csr(acts), matrix=layer.name
             )
@@ -106,6 +149,15 @@ def compare_models(
     model: str = "resnet50",
     sparsity: float = 0.70,
     scale: Optional[float] = None,
+    seed: int = 11,
 ) -> Dict[str, InferenceReport]:
-    """Run the same model on several STCs (all at FP32 by convention)."""
-    return {stc.name: simulate_inference(stc, model, sparsity, scale=scale) for stc in stcs}
+    """Run the same model on several STCs (all at FP32 by convention).
+
+    ``seed`` reaches every STC's weight and activation draws — it used
+    to be silently pinned to 11, so multi-STC comparisons could never
+    vary their inputs.
+    """
+    return {
+        stc.name: simulate_inference(stc, model, sparsity, scale=scale, seed=seed)
+        for stc in stcs
+    }

@@ -6,6 +6,11 @@ structure (two-hop connectivity ``A^2``, an SpGEMM).  This module
 implements both numerically over the package's own kernels and records
 the kernel trace, demonstrating the multi-kernel workloads Uni-STC's
 generality argument (§III-A) is about.
+
+The simulation side runs through :mod:`repro.graph`: ``propagation_graph``
+declares the propagate/two-hop stack as a :class:`ModelGraph` and
+``simulate_propagation`` schedules it (``simulate_propagation_legacy``
+keeps the hand-rolled loop as the parity reference).
 """
 
 from __future__ import annotations
@@ -16,10 +21,14 @@ from typing import Optional
 import numpy as np
 
 from repro.apps.trace import KernelTrace
+from repro.arch.base import STCModel
 from repro.errors import ShapeError
+from repro.formats.bbc import BBCMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.graph import DEFAULT_BUFFER_KIB, GraphRunner, ModelGraph, ModelReport, gnn_graph
 from repro.kernels import reference
+from repro.sim.engine import simulate_kernel
 
 
 def normalised_adjacency(adjacency: CSRMatrix) -> CSRMatrix:
@@ -59,3 +68,53 @@ def two_hop(adjacency: CSRMatrix, trace: Optional[KernelTrace] = None) -> CSRMat
     if trace is not None:
         trace.record("spgemm", adjacency, b=adjacency, label="two-hop")
     return result
+
+
+def propagation_graph(
+    adjacency: CSRMatrix,
+    feature_dim: int = 64,
+    layers: int = 2,
+) -> ModelGraph:
+    """The GCN stack as a model graph (propagate x ``layers`` + two-hop)."""
+    return gnn_graph(normalised_adjacency(adjacency), adjacency,
+                     feature_dim=feature_dim, layers=layers)
+
+
+def simulate_propagation(
+    stc: STCModel,
+    adjacency: CSRMatrix,
+    feature_dim: int = 64,
+    layers: int = 2,
+    batch: int = 1,
+    buffer_kib: int = DEFAULT_BUFFER_KIB,
+) -> ModelReport:
+    """Simulate the GCN stack end to end through the graph runner."""
+    graph = propagation_graph(adjacency, feature_dim=feature_dim,
+                              layers=layers)
+    return GraphRunner(graph, stc, batch=batch,
+                       buffer_bytes=buffer_kib * 1024).run()
+
+
+def simulate_propagation_legacy(
+    stc: STCModel,
+    adjacency: CSRMatrix,
+    feature_dim: int = 64,
+    layers: int = 2,
+):
+    """The hand-rolled per-kernel loop the graph path must match.
+
+    Returns the per-kernel :class:`~repro.sim.results.SimReport` list in
+    the same order the graph schedules its nodes.
+    """
+    a_hat = BBCMatrix.from_csr(normalised_adjacency(adjacency))
+    reports = []
+    for i in range(1, layers + 1):
+        reports.append(simulate_kernel(
+            "spmm", a_hat, stc, b_cols=feature_dim,
+            matrix=f"gnn.propagate{i}",
+        ))
+    adj = BBCMatrix.from_csr(adjacency)
+    reports.append(simulate_kernel(
+        "spgemm", adj, stc, b=adj, matrix="gnn.two_hop",
+    ))
+    return reports

@@ -26,6 +26,7 @@ from repro.cli import (
     corpus,
     dse,
     faults,
+    infer,
     inspect_cmds,
     kernels,
     reporting,
@@ -41,6 +42,7 @@ from repro.runtime import Session
 _COMMAND_MODULES = (
     inspect_cmds,  # info, formats, area, trace
     kernels,       # kernels, profile
+    infer,         # end-to-end model inference (graph runner)
     amg,
     corpus,
     faults,

@@ -22,7 +22,15 @@ from repro.dse.evaluate import (
     campaign_fingerprint,
     tile_cycle_scale,
 )
-from repro.dse.pareto import OBJECTIVES, dominates, knee_index, pareto_front, pareto_indices
+from repro.dse.model import ModelEvaluation, evaluate_model_candidates, model_frontier
+from repro.dse.pareto import (
+    MODEL_OBJECTIVES,
+    OBJECTIVES,
+    dominates,
+    knee_index,
+    pareto_front,
+    pareto_indices,
+)
 from repro.dse.space import DesignPoint, DesignSpace, default_space
 from repro.dse.strategies import (
     EvolutionarySearch,
@@ -43,6 +51,8 @@ __all__ = [
     "Evaluation",
     "EvolutionarySearch",
     "GridSearch",
+    "MODEL_OBJECTIVES",
+    "ModelEvaluation",
     "OBJECTIVES",
     "PointSweep",
     "RandomSearch",
@@ -50,8 +60,10 @@ __all__ = [
     "campaign_fingerprint",
     "default_space",
     "dominates",
+    "evaluate_model_candidates",
     "knee_index",
     "make_strategy",
+    "model_frontier",
     "pareto_front",
     "pareto_indices",
     "strategy_names",

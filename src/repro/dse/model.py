@@ -1,0 +1,143 @@
+"""End-to-end (whole-model) candidate evaluation for DSE.
+
+The per-kernel evaluator (:mod:`repro.dse.evaluate`) optimises one
+workload cell at a time; this module evaluates candidate Uni-STC
+configurations against a *model graph* — the full forward pass the
+paper's Fig. 17 inference panels actually measure — and ranks them on
+the :data:`~repro.dse.pareto.MODEL_OBJECTIVES` axes:
+
+- ``e2e_latency`` — summed per-node compute/memory-overlap cycles of
+  the whole batch (:attr:`~repro.graph.runner.ModelReport.e2e_latency`);
+- ``e2e_energy`` — compute energy plus the DRAM cost of every edge
+  that spilled past the on-chip buffer budget;
+- ``area_mm2`` and ``eed`` exactly as the per-kernel frontier defines
+  them, with speedup/energy-reduction measured against the same
+  DS-STC baseline run through the same graph.
+
+Candidates reuse :class:`~repro.dse.space.DesignPoint` knob tuples
+(``DesignPoint.config()`` stays the one authoritative knobs-to-config
+path), so spaces declared for per-kernel campaigns re-target the
+end-to-end objectives without re-declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.dse.evaluate import BASELINE_STC
+from repro.dse.pareto import MODEL_OBJECTIVES, FrontierResult, pareto_front
+from repro.dse.space import DesignPoint
+from repro.energy.area import eed as eed_metric
+from repro.energy.area import total_area_mm2
+from repro.errors import ConfigError
+from repro.graph import DEFAULT_BUFFER_KIB, GraphRunner, ModelReport
+from repro.registry import create_stc
+
+
+@dataclass(frozen=True)
+class ModelEvaluation:
+    """One candidate config's end-to-end objectives on one model."""
+
+    point: DesignPoint
+    e2e_latency: int
+    e2e_energy_pj: float
+    area_mm2: float
+    speedup: float           #: baseline e2e latency / candidate e2e latency
+    energy_reduction: float
+    eed: float
+    report: ModelReport
+
+    def objectives(self) -> Dict[str, float]:
+        return {
+            "e2e_latency": float(self.e2e_latency),
+            "e2e_energy": float(self.e2e_energy_pj),
+            "area_mm2": float(self.area_mm2),
+            "eed": float(self.eed),
+        }
+
+
+def _run_model(graph_builder, stc, batch: int, buffer_kib: int) -> ModelReport:
+    graph = graph_builder()
+    return GraphRunner(graph, stc, batch=batch,
+                       buffer_bytes=buffer_kib * 1024).run()
+
+
+def evaluate_model_candidates(
+    model: str,
+    combos: Sequence[Tuple[Tuple[str, object], ...]],
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+    seed: int = 11,
+    batch: int = 1,
+    buffer_kib: int = DEFAULT_BUFFER_KIB,
+    baseline: str = BASELINE_STC,
+) -> List[Optional[ModelEvaluation]]:
+    """Evaluate candidate knob combos end to end on one model graph.
+
+    Each combo is a sorted knob tuple (what
+    :meth:`~repro.dse.space.DesignSpace.candidates` yields).  The
+    baseline STC runs the identical graph once; every candidate's
+    speedup/energy-reduction/EED is measured against it.  An
+    unbuildable combo yields ``None`` in its slot (same contract as the
+    per-kernel evaluator's failed points).
+    """
+    from repro.graph.build import dnn_graph
+
+    def builder():
+        return dnn_graph(model, sparsity, scale=scale, seed=seed)
+
+    with obs.span("dse.model", model=model, candidates=len(combos),
+                  batch=batch):
+        base_report = _run_model(builder, create_stc(baseline),
+                                 batch, buffer_kib)
+        out: List[Optional[ModelEvaluation]] = []
+        for combo in combos:
+            point = DesignPoint(matrix=f"model:{model}", kernel="model",
+                                knobs=tuple(sorted(combo)))
+            try:
+                config = point.config()
+            except ConfigError:
+                obs.inc("dse.points_failed", reason="config")
+                out.append(None)
+                continue
+            stc = create_stc("uni-stc", config)
+            report = _run_model(builder, stc, batch, buffer_kib)
+            latency = report.e2e_latency
+            energy = report.e2e_energy_pj
+            speedup = (base_report.e2e_latency / latency
+                       if latency > 0 else 0.0)
+            energy_reduction = (base_report.e2e_energy_pj / energy
+                                if energy > 0 else 0.0)
+            efficiency = (eed_metric(speedup, energy_reduction, "uni-stc",
+                                     config, baseline=baseline)
+                          if speedup > 0 and energy_reduction > 0 else 0.0)
+            out.append(ModelEvaluation(
+                point=point,
+                e2e_latency=latency,
+                e2e_energy_pj=energy,
+                area_mm2=total_area_mm2(config),
+                speedup=speedup,
+                energy_reduction=energy_reduction,
+                eed=efficiency,
+                report=report,
+            ))
+    return out
+
+
+def model_frontier(
+    evaluations: Sequence[Optional[ModelEvaluation]],
+) -> Tuple[FrontierResult, List[ModelEvaluation]]:
+    """Pareto frontier over the surviving end-to-end evaluations.
+
+    Returns the frontier (indices into the *survivor* list) plus that
+    survivor list itself, so callers can map knee/frontier indices back
+    to evaluations without tracking the dropped slots.
+    """
+    survivors = [e for e in evaluations if e is not None]
+    if not survivors:
+        raise ConfigError("no model candidates survived evaluation")
+    front = pareto_front([e.objectives() for e in survivors],
+                         MODEL_OBJECTIVES)
+    return front, survivors

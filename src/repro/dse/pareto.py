@@ -25,6 +25,17 @@ OBJECTIVES: Dict[str, str] = {
     "eed": "max",
 }
 
+#: End-to-end (whole-model) objective set: frontier axes when candidates
+#: are evaluated through the graph runner's :class:`ModelReport` instead
+#: of per-kernel reports — latency and energy cover the full forward
+#: pass including DRAM edge traffic (see ``repro.dse.model``).
+MODEL_OBJECTIVES: Dict[str, str] = {
+    "e2e_latency": "min",
+    "e2e_energy": "min",
+    "area_mm2": "min",
+    "eed": "max",
+}
+
 
 def _signed(values: Mapping[str, float],
             objectives: Mapping[str, str]) -> Tuple[float, ...]:

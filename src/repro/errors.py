@@ -21,6 +21,11 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class GraphError(ReproError):
+    """A model graph is structurally invalid (cycle, dangling tensor,
+    duplicate producer) or was scheduled inconsistently."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its budget."""
 

@@ -1,0 +1,29 @@
+"""repro.graph — the model-graph IR and its end-to-end runner.
+
+The package every app's hand-rolled per-layer loop moved onto:
+:mod:`~repro.graph.ir` declares nodes (kernel invocations) and tensors
+(producer/consumer edges), :mod:`~repro.graph.buffer` plans activation
+residency under an on-chip byte budget, :mod:`~repro.graph.build`
+constructs the DNN/GNN graphs with the legacy loops' exact operands,
+and :mod:`~repro.graph.runner` schedules everything through the shared
+simulation fastpath with multi-request batching.
+"""
+
+from repro.graph.buffer import DEFAULT_BUFFER_KIB, BufferPlan, plan_buffers
+from repro.graph.build import dnn_graph, gnn_graph
+from repro.graph.ir import GraphNode, ModelGraph, TensorSpec
+from repro.graph.runner import GraphRunner, ModelReport, NodeResult
+
+__all__ = [
+    "BufferPlan",
+    "DEFAULT_BUFFER_KIB",
+    "GraphNode",
+    "GraphRunner",
+    "ModelGraph",
+    "ModelReport",
+    "NodeResult",
+    "TensorSpec",
+    "dnn_graph",
+    "gnn_graph",
+    "plan_buffers",
+]

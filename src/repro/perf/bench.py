@@ -54,7 +54,7 @@ from repro.sim.engine import simulate_kernel
 from repro.workloads.suitesparse import MatrixSpec, corpus
 
 #: Report schema version; bump when the JSON layout changes.
-BENCH_SCHEMA = 4
+BENCH_SCHEMA = 5
 
 
 def _time_best(fn: Callable[[], object], repeat: int,
@@ -537,6 +537,98 @@ def bench_store(
             }
 
 
+def bench_infer(repeat: int, smoke: bool = False) -> Dict[str, object]:
+    """Batched end-to-end inference: one warm device vs N cold devices.
+
+    The graph runner's amortisation claim, measured.  Three regimes,
+    all simulating the identical 8-request ResNet-50 workload:
+
+    - **sequential** — each request on its own device (fresh
+      :class:`BlockCache` per request, ``request_offset`` selecting the
+      request), the way 8 independent single-shot runs would execute;
+    - **batched** — all 8 requests folded through one device sharing
+      one cache: linear layers repeat their tile patterns exactly
+      across requests, conv layers partially (fresh activations per
+      request), so the batch pays the cold cost once;
+    - **store replay** — the batched run against a persistent
+      :class:`~repro.store.ResultStore` tier populated by a prior run
+      with an empty process LRU, the repeated-service regime.
+
+    ``totals_match`` cross-checks that batched and sequential agree on
+    total compute cycles — the amortisation must not change a single
+    simulated number.
+    """
+    import tempfile
+
+    from repro.graph import GraphRunner, dnn_graph
+    from repro.store import ResultStore
+
+    model, batch = "resnet50", 8
+    scale = 0.05 if smoke else 0.125
+    graph = dnn_graph(model, scale=scale)
+
+    seq_reports: list = []
+
+    def sequential() -> None:
+        seq_reports.clear()
+        for r in range(batch):
+            runner = GraphRunner(graph, create_stc("uni-stc"), batch=1,
+                                 request_offset=r, cache=BlockCache())
+            seq_reports.append(runner.run())
+
+    sequential_s = _time_best(sequential, 1, label="infer_sequential")
+
+    batched_holder: list = []
+
+    def batched() -> None:
+        batched_holder.clear()
+        batched_holder.append(GraphRunner(
+            graph, create_stc("uni-stc"), batch=batch, cache=BlockCache(),
+        ).run())
+
+    batched_s = _time_best(batched, 1, label="infer_batched")
+    breport = batched_holder[0]
+    totals_match = (breport.e2e_compute_cycles ==
+                    sum(r.e2e_compute_cycles for r in seq_reports))
+    seq_hits = sum(r.cache.get("hits", 0.0) for r in seq_reports)
+    seq_lookups = seq_hits + sum(r.cache.get("misses", 0.0)
+                                 for r in seq_reports)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(Path(tmp) / "inferstore") as store:
+            GraphRunner(graph, create_stc("uni-stc"), batch=batch,
+                        cache=BlockCache(store=store)).run()
+            store.flush()
+            before = store.stats.snapshot()
+            replay_s = _time_best(
+                lambda: GraphRunner(graph, create_stc("uni-stc"), batch=batch,
+                                    cache=BlockCache(store=store)).run(),
+                repeat, label="infer_store_replay",
+            )
+            warm = store.stats.delta(before)
+
+    return {
+        "model": model,
+        "batch": batch,
+        "scale": scale,
+        "nodes": len(graph),
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "speedup": sequential_s / batched_s if batched_s else 0.0,
+        "sequential_hit_rate": seq_hits / seq_lookups if seq_lookups else 0.0,
+        "batched_hit_rate": breport.cache_hit_rate,
+        "totals_match": totals_match,
+        "e2e_latency": breport.e2e_latency,
+        "e2e_energy_pj": breport.e2e_energy_pj,
+        "dram_traffic_bytes": breport.dram_traffic_bytes,
+        "store": {
+            "replay_seconds": replay_s,
+            "speedup": batched_s / replay_s if replay_s else 0.0,
+            "hit_rate": warm.hit_rate,
+        },
+    }
+
+
 def run_bench(
     out: Optional[Union[str, Path]] = None,
     smoke: bool = False,
@@ -572,6 +664,7 @@ def run_bench(
         "obs": bench_obs_overhead(mats, kernels, repeat),
         "telemetry": bench_telemetry_overhead(mats, kernels, repeat),
         "store": bench_store(mats, kernels, repeat),
+        "infer": bench_infer(repeat, smoke),
     }
     if out is not None:
         Path(str(out)).write_text(json.dumps(report, indent=2) + "\n")
@@ -642,4 +735,16 @@ def render_summary(report: Dict[str, object]) -> str:
         if st.get("report_mismatches"):
             shown = ", ".join(st["report_mismatches"][:5])
             lines.append(f"  REPORT MISMATCH in: {shown}")
+    inf = report.get("infer")
+    if inf:
+        lines.append(
+            f"infer: {inf['model']} x{inf['batch']} "
+            f"(totals_match={inf['totals_match']}); sequential "
+            f"{inf['sequential_seconds']:.3f}s -> batched "
+            f"{inf['batched_seconds']:.3f}s ({inf['speedup']:.1f}x), "
+            f"hit rate {inf['sequential_hit_rate']:.1%} -> "
+            f"{inf['batched_hit_rate']:.1%}; store replay "
+            f"{inf['store']['replay_seconds']:.3f}s "
+            f"(hit rate {inf['store']['hit_rate']:.1%})"
+        )
     return "\n".join(lines)

@@ -132,6 +132,15 @@ def _build_mtx(parts: Sequence[str]) -> COOMatrix:
     return read_mtx(":".join(parts))
 
 
+def _build_model(parts: Sequence[str]) -> COOMatrix:
+    from repro.workloads.dlmc import model_weights_matrix
+
+    name = parts[0]
+    sparsity = float(parts[1]) if len(parts) > 1 else 0.70
+    scale = float(parts[2]) if len(parts) > 2 else None
+    return model_weights_matrix(name, sparsity, scale=scale)
+
+
 def _build_corpus(parts: Sequence[str]) -> COOMatrix:
     from repro.workloads.suitesparse import DEFAULT_SIZES, corpus
 
@@ -155,6 +164,12 @@ _BUILTINS = (
                  description="5-point Poisson stencil on an N x N grid"),
     WorkloadKind("mtx", "file", _build_mtx, grammar="mtx:PATH",
                  description="a Matrix Market file"),
+    WorkloadKind("model", "dnn", _build_model,
+                 grammar="model:NAME[:SPARSITY[:SCALE]]",
+                 description="a whole DNN model's pruned weights as one "
+                             "block-diagonal matrix (resnet50 or "
+                             "transformer; the model graphs repro infer "
+                             "schedules share these weights)"),
     WorkloadKind("corpus", "corpus", _build_corpus, grammar="corpus:NAME",
                  description="a SuiteSparse-substitute corpus entry by name "
                              "(self-describing shard specs address corpus "

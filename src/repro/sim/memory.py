@@ -16,7 +16,7 @@ with 4 tensor-core slots each -> ~2.5 bytes/cycle per Uni-STC slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.errors import ConfigError, ShapeError
 from repro.formats.bbc import BBCMatrix
@@ -25,6 +25,12 @@ from repro.sim.results import SimReport
 
 #: Bytes per FP64 value.
 _VALUE_BYTES = 8
+
+#: DRAM access energy per byte (pJ).  HBM2-class parts land around
+#: 2.5 pJ/bit device-side; with the PHY/controller the per-byte system
+#: cost is ~20 pJ — the figure end-to-end model energy uses to price
+#: edge traffic that spills off chip.
+DRAM_PJ_PER_BYTE = 20.0
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,7 @@ def kernel_traffic_bytes(
     b_cols: int = 64,
     x: Optional[SparseVector] = None,
     c_writes: Optional[float] = None,
+    resident: Iterable[str] = (),
 ) -> Dict[str, float]:
     """Global-memory bytes one kernel invocation moves.
 
@@ -56,6 +63,13 @@ def kernel_traffic_bytes(
       encoding (SpGEMM), or the vector (SpMV/SpMSpV);
     - writing C: one value+index per produced output element
       (``c_writes``, normally taken from the simulated report).
+
+    ``resident`` names traffic components served by the on-chip edge
+    buffer instead of DRAM: the graph runner's buffer plan passes
+    ``{"read_b"}`` when the consumed activation stayed resident and
+    ``{"write_c"}`` when the produced one will — those components are
+    zeroed (the bytes never cross the memory bus).  A is never
+    resident: weights and adjacency structures stream from DRAM.
     """
     kernel = kernel.lower()
     traffic = {"read_a": float(a.storage_bytes())}
@@ -75,7 +89,19 @@ def kernel_traffic_bytes(
     if c_writes is None:
         c_writes = 0.0
     traffic["write_c"] = float(c_writes) * (_VALUE_BYTES + 4)
+    for component in resident:
+        if component == "read_a":
+            raise ShapeError("operand A always streams from DRAM; "
+                             "only read_b/write_c can be resident")
+        if component not in traffic:
+            raise ShapeError(f"unknown traffic component {component!r}")
+        traffic[component] = 0.0
     return traffic
+
+
+def dram_energy_pj(traffic: Dict[str, float]) -> float:
+    """DRAM access energy (pJ) for one invocation's traffic dict."""
+    return sum(traffic.values()) * DRAM_PJ_PER_BYTE
 
 
 def _csr_structure(m: BBCMatrix):

@@ -77,3 +77,36 @@ def dlmc_corpus(
     for i, layer in enumerate(layers):
         out.append((layer, pruned_weight(layer.m, layer.k, sparsity, seed=seed + i)))
     return out
+
+
+def model_weights_matrix(
+    model: str = "resnet50",
+    sparsity: float = 0.70,
+    scale: Optional[float] = None,
+    seed: int = 11,
+) -> COOMatrix:
+    """All of a model's pruned weights as one block-diagonal matrix.
+
+    The registry's ``model:NAME`` workload kind: every layer's
+    ``m x k`` weight sits on the diagonal of one
+    ``(sum m) x (sum k)`` matrix, so sweep-shaped commands can address
+    a whole model's weight population through the ordinary matrix
+    grammar (same weights, same seeds as :func:`dlmc_corpus`).
+    """
+    corpus = dlmc_corpus(model, sparsity, scale=scale, seed=seed)
+    total_m = sum(layer.m for layer, _ in corpus)
+    total_k = sum(layer.k for layer, _ in corpus)
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    row_off = col_off = 0
+    for layer, weight in corpus:
+        rows.append(weight.rows + row_off)
+        cols.append(weight.cols + col_off)
+        vals.append(weight.vals)
+        row_off += layer.m
+        col_off += layer.k
+    return COOMatrix(
+        (total_m, total_k),
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+    )

@@ -14,6 +14,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+#: Typical post-ReLU activation sparsity for the conv-as-SpGEMM path.
+ACTIVATION_SPARSITY = 0.5
+
+
+def activation_matrix(k: int, n: int, seed: int) -> CSRMatrix:
+    """A ReLU'd (half-sparse) ``k x n`` activation matrix.
+
+    The operand the conv-as-SpGEMM path feeds as B; seeded so the same
+    request always sees the same feature map (the graph runner derives
+    per-request seeds from this one).
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((k, n))
+    dense[dense < 0] = 0.0  # ReLU: ~50% sparsity
+    return CSRMatrix.from_dense(dense)
+
 
 @dataclass(frozen=True)
 class LayerSpec:

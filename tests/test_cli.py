@@ -167,3 +167,50 @@ class TestDseCommand:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestInfer:
+    BASE = ["infer", "--model", "resnet50", "--scale", "0.05",
+            "--stc", "uni-stc"]
+
+    def test_prints_schedule_and_summary(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "resnet50 on uni-stc" in out
+        assert "e2e latency:" in out and "DRAM" in out
+        assert "spgemm" in out and "spmm" in out
+
+    def test_out_writes_model_report(self, capsys, tmp_path):
+        path = tmp_path / "model.json"
+        assert main(self.BASE + ["--batch", "2", "--out", str(path)]) == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "repro.model_report"
+        assert doc["batch"] == 2
+        assert doc["e2e_latency"] > 0
+        assert len(doc["nodes"]) == 2 * 6     # 6 layers x 2 requests
+
+    def test_multi_stc_writes_report_set(self, capsys, tmp_path):
+        path = tmp_path / "set.json"
+        assert main(["infer", "--model", "transformer", "--scale", "0.125",
+                     "--stc", "uni-stc,ds-stc", "--out", str(path)]) == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "repro.model_report_set"
+        assert set(doc["reports"]) == {"uni-stc", "ds-stc"}
+
+    def test_buffer_budget_flag_reaches_the_plan(self, capsys, tmp_path):
+        path = tmp_path / "nobuf.json"
+        assert main(self.BASE + ["--buffer-kib", "0",
+                                 "--out", str(path)]) == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["buffer"]["budget_bytes"] == 0
+        assert doc["buffer"]["resident"] == []
+
+    def test_unknown_stc_is_a_domain_error(self, capsys):
+        assert main(["infer", "--stc", "tpu"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -41,6 +41,34 @@ class TestSimulateInference:
         reports = compare_models([UniSTC(cfg), DsSTC(FP32)], "transformer", 0.98, scale=0.125)
         assert set(reports) == {"uni-stc", "ds-stc"}
 
+    def test_compare_models_threads_the_seed(self):
+        # The seed used to be silently pinned to 11, so comparisons
+        # could never vary their inputs.
+        cfg = UniSTCConfig(precision=FP32)
+        default = compare_models([UniSTC(cfg)], "transformer", 0.70, scale=0.125)
+        pinned = compare_models([UniSTC(cfg)], "transformer", 0.70, scale=0.125, seed=11)
+        varied = compare_models([UniSTC(cfg)], "transformer", 0.70, scale=0.125, seed=99)
+        assert default["uni-stc"].total_cycles == pinned["uni-stc"].total_cycles
+        assert varied["uni-stc"].total_cycles != pinned["uni-stc"].total_cycles
+
+    def test_total_cycles_aggregates_in_integer_domain(self):
+        # A corpus-scale total must not round through float64: two
+        # layers at 2^62 cycles each sum exactly, and the result is a
+        # Python int even when per-layer cycles arrive as np.int64.
+        from repro.apps.dnn import InferenceReport, LayerReport
+        from repro.sim.results import SimReport
+        from repro.workloads.dnn import LayerSpec
+
+        layer = LayerSpec("huge", 16, 16, 16, "linear")
+        big = np.int64(2 ** 62)
+        report = InferenceReport(model="m", stc="uni-stc", sparsity=0.5)
+        for i in range(2):
+            report.layers.append(LayerReport(
+                layer=layer, report=SimReport("uni-stc", "spmm", cycles=big)))
+        assert report.total_cycles == 2 ** 63
+        assert isinstance(report.total_cycles, int)
+        assert not isinstance(report.total_cycles, np.integer)
+
     def test_uni_beats_baselines_on_sparse_weights(self):
         cfg = UniSTCConfig(precision=FP32)
         reports = compare_models(

@@ -1,0 +1,90 @@
+"""Tests for end-to-end model DSE (repro.dse.model)."""
+
+import pytest
+
+from repro.dse import (
+    MODEL_OBJECTIVES,
+    ModelEvaluation,
+    evaluate_model_candidates,
+    model_frontier,
+)
+from repro.dse.pareto import pareto_front
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    """Two buildable candidates plus one invalid combo, on a tiny model."""
+    combos = [
+        (("num_dpgs", 8), ("tile", 4)),
+        (("num_dpgs", 4), ("tile", 4)),
+        (("num_dpgs", 8), ("tile", 3)),   # tile must divide the block
+    ]
+    return evaluate_model_candidates("resnet50", combos, scale=0.05)
+
+
+class TestModelObjectives:
+    def test_axes_and_senses(self):
+        assert MODEL_OBJECTIVES == {"e2e_latency": "min",
+                                    "e2e_energy": "min",
+                                    "area_mm2": "min",
+                                    "eed": "max"}
+
+
+class TestEvaluateModelCandidates:
+    def test_invalid_combo_yields_none_slot(self, evaluations):
+        assert len(evaluations) == 3
+        assert evaluations[0] is not None
+        assert evaluations[1] is not None
+        assert evaluations[2] is None
+
+    def test_objectives_are_end_to_end(self, evaluations):
+        for ev in evaluations[:2]:
+            assert ev.e2e_latency > 0
+            assert ev.e2e_energy_pj > 0
+            assert ev.area_mm2 > 0
+            assert ev.speedup > 0 and ev.eed > 0
+            assert set(ev.objectives()) == set(MODEL_OBJECTIVES)
+            assert ev.objectives()["e2e_latency"] == float(ev.e2e_latency)
+            # the full ModelReport rides along for drill-down
+            assert ev.report.e2e_latency == ev.e2e_latency
+            assert ev.report.model == "resnet50"
+
+    def test_candidates_reuse_design_point_vocabulary(self, evaluations):
+        point = evaluations[0].point
+        assert point.matrix == "model:resnet50"
+        assert point.kernel == "model"
+        assert point.config().num_dpgs == 8
+
+    def test_fewer_dpgs_costs_latency(self, evaluations):
+        # Halving the DPG count cannot make the end-to-end pass faster.
+        assert evaluations[1].e2e_latency >= evaluations[0].e2e_latency
+
+
+class TestModelFrontier:
+    def test_frontier_over_survivors(self, evaluations):
+        front, survivors = model_frontier(evaluations)
+        assert [e for e in evaluations if e is not None] == survivors
+        assert 0 < len(front.frontier) <= len(survivors)
+        assert front.knee in front.frontier
+        # the frontier is exactly pareto_front over the survivor
+        # objective vectors with the model senses
+        want = pareto_front([e.objectives() for e in survivors],
+                            MODEL_OBJECTIVES)
+        assert front == want
+
+    def test_all_failed_is_an_error(self):
+        with pytest.raises(ConfigError, match="no model candidates"):
+            model_frontier([None, None])
+
+    def test_evaluation_is_frozen(self, evaluations):
+        with pytest.raises(AttributeError):
+            evaluations[0].e2e_latency = 1
+
+    def test_exported_from_package(self):
+        import repro.dse as dse
+
+        for name in ("ModelEvaluation", "evaluate_model_candidates",
+                     "model_frontier", "MODEL_OBJECTIVES"):
+            assert hasattr(dse, name)
+        assert ModelEvaluation is dse.ModelEvaluation

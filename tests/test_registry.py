@@ -149,7 +149,8 @@ class TestFactoriesAndFamilies:
 class TestWorkloadRegistry:
     def test_builtin_kinds(self):
         assert registered_workloads() == [
-            "band", "corpus", "mtx", "poisson", "random", "rep", "rmat",
+            "band", "corpus", "model", "mtx", "poisson", "random", "rep",
+            "rmat",
         ]
 
     def test_every_synthetic_kind_builds(self):
@@ -158,6 +159,22 @@ class TestWorkloadRegistry:
         assert parse_matrix_spec("rmat:5").shape == (32, 32)
         assert parse_matrix_spec("poisson:6").shape == (36, 36)
         assert parse_matrix_spec("rep:consph").shape == (256, 256)
+
+    def test_model_kind_builds_block_diagonal_weights(self):
+        from repro.workloads.dnn import resnet50_layers
+
+        m = parse_matrix_spec("model:resnet50:0.7:0.05")
+        layers = resnet50_layers(0.05)
+        assert m.shape == (sum(l.m for l in layers),
+                           sum(l.k for l in layers))
+        assert m.nnz > 0
+
+    def test_model_kind_defaults(self):
+        assert parse_matrix_spec("model:transformer").nnz > 0
+
+    def test_model_kind_bad_args_name_the_grammar(self):
+        with pytest.raises(ReproError, match="model:NAME"):
+            parse_matrix_spec("model:resnet50:dense")
 
     def test_unknown_kind_raises(self):
         with pytest.raises(ReproError, match="unknown matrix spec"):

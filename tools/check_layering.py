@@ -55,6 +55,10 @@ LAYERS = {
     "sim": 6,
     "analysis": 7,
     "apps": 7,
+    # The model-graph runtime sits beside the apps it lifted: apps
+    # build graphs (equal-rank import), dse/cli consume ModelReports
+    # from above.
+    "graph": 7,
     "perf": 7,
     "resilience": 7,
     # dse and exec sit side by side: the DSE evaluator dispatches batches
